@@ -1,0 +1,41 @@
+"""Table 3: fat-tree evaluation topologies A/B/C.
+
+Regenerates the device census of the three k-ary fat trees (16/24/48
+ports) and checks every row against the paper, then benchmarks topology
+generation itself (topology C has 30,528 devices).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import TOPOLOGY_A, TOPOLOGY_B, TOPOLOGY_C, fat_tree
+
+PAPER_TABLE_3 = {
+    "A": (TOPOLOGY_A, {"core": 64, "aggregation": 128, "tor": 128,
+                       "server": 1024, "total": 1344}),
+    "B": (TOPOLOGY_B, {"core": 144, "aggregation": 288, "tor": 288,
+                       "server": 3456, "total": 4176}),
+    "C": (TOPOLOGY_C, {"core": 576, "aggregation": 1152, "tor": 1152,
+                       "server": 27648, "total": 30528}),
+}
+
+
+@pytest.mark.parametrize("name", ["A", "B", "C"])
+def test_table3_census(benchmark, emit, name):
+    config, paper = PAPER_TABLE_3[name]
+    topology = benchmark.pedantic(
+        fat_tree, args=(config,), rounds=1, iterations=1
+    )
+    counts = topology.counts()
+    rows = [
+        [row, paper[row], counts[row], "OK" if counts[row] == paper[row] else "MISMATCH"]
+        for row in ("core", "aggregation", "tor", "server", "total")
+    ]
+    emit.table(
+        f"Table 3 — Topology {name} (k={config.ports})",
+        ["device class", "paper", "measured", "match"],
+        rows,
+    )
+    for row in ("core", "aggregation", "tor", "server", "total"):
+        assert counts[row] == paper[row], row

@@ -1,0 +1,73 @@
+"""From audit to action: rank mitigations before spending money.
+
+An audit tells you the shared aggregation switch is a single point of
+failure.  Should you buy a second switch, or a better one, or harden a
+ToR instead?  This example chains three library layers:
+
+1. SIA audit           -> where the risk groups are,
+2. component importance -> which components carry the risk,
+3. what-if analysis     -> which mitigation buys the largest
+                           failure-probability reduction.
+
+Run:  python examples/hardening_planner.py
+"""
+
+from __future__ import annotations
+
+from repro import AuditSpec, SIAAuditor
+from repro.analysis import Duplicate, Harden, evaluate_mitigations
+from repro.core.importance import component_importance_ranking
+from repro.depdb import DepDB, NetworkDependency
+from repro.failures import combine_weighers, gill_network_weigher
+
+
+def build_depdb() -> DepDB:
+    """Two racks whose uplinks secretly share one aggregation switch."""
+    db = DepDB()
+    db.add(NetworkDependency("Rack1", "Internet", ("tor1", "agg-shared", "core1")))
+    db.add(NetworkDependency("Rack2", "Internet", ("tor2", "agg-shared", "core2")))
+    return db
+
+
+def main() -> None:
+    weigher = combine_weighers(gill_network_weigher(), default=0.08)
+    auditor = SIAAuditor(build_depdb(), weigher=weigher)
+    spec = AuditSpec(deployment="Rack1 & Rack2", servers=("Rack1", "Rack2"))
+
+    audit = auditor.audit_deployment(spec)
+    print("1) audit — top risk groups:")
+    for entry in audit.top_risk_groups(3):
+        print("  ", entry.describe())
+    print(f"   Pr[deployment fails] = {audit.failure_probability:.4f}")
+    print()
+
+    graph = auditor.build_graph(spec)
+    print("2) component importance (Birnbaum-ranked):")
+    for entry in component_importance_ranking(graph)[:4]:
+        print("  ", entry.describe())
+    print()
+
+    print("3) what-if — candidate mitigations, best first:")
+    outcomes = evaluate_mitigations(
+        graph,
+        [
+            Duplicate("device:agg-shared"),
+            Harden("device:agg-shared", 0.02),
+            Harden("device:tor1", 0.01),
+            Duplicate("device:core1"),
+        ],
+    )
+    for outcome in outcomes:
+        print("  ", outcome.describe())
+    best = outcomes[0]
+    print()
+    print(
+        f"recommendation: {best.mitigation.describe()} "
+        f"(-{best.relative_reduction:.0%} failure probability, "
+        f"unexpected RGs {best.unexpected_before} -> "
+        f"{best.unexpected_after})"
+    )
+
+
+if __name__ == "__main__":
+    main()

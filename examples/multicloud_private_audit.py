@@ -1,0 +1,59 @@
+"""§6.2.3 case study: pick independent clouds without seeing their data.
+
+Alice wants a reliable multi-cloud key-value store.  Four providers run
+Riak, MongoDB, Redis and CouchDB; none will reveal its software stack.
+PIA runs the P-SOP commutative-encryption protocol so the providers
+jointly compute the Jaccard similarity of their (normalised) package
+sets — and nothing else.  The resulting ranking is the paper's Table 2.
+
+Run:  python examples/multicloud_private_audit.py [psop|plaintext]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import software_case_study
+from repro.swinventory import (
+    PAPER_TABLE2_THREE_WAY,
+    PAPER_TABLE2_TWO_WAY,
+    stack_of,
+)
+
+
+def main(protocol: str = "psop") -> None:
+    print(f"running the private audit with protocol={protocol!r} ...")
+    two_way, three_way = software_case_study(protocol=protocol)
+
+    print()
+    print("Table 2 (two-way redundancy deployments):")
+    print(f"  {'rank':<6}{'deployment':<22}{'paper':<9}{'measured':<9}")
+    for entry in two_way.entries:
+        paper = PAPER_TABLE2_TWO_WAY[tuple(entry.deployment)]
+        print(
+            f"  {entry.rank:<6}{entry.name:<22}{paper:<9.4f}"
+            f"{entry.jaccard:<9.4f}"
+        )
+    print()
+    print("Table 2 (three-way redundancy deployments):")
+    print(f"  {'rank':<6}{'deployment':<31}{'paper':<9}{'measured':<9}")
+    for entry in three_way.entries:
+        paper = PAPER_TABLE2_THREE_WAY[tuple(entry.deployment)]
+        print(
+            f"  {entry.rank:<6}{entry.name:<31}{paper:<9.4f}"
+            f"{entry.jaccard:<9.4f}"
+        )
+    print()
+    best = two_way.best()
+    stacks = " + ".join(stack_of(c) for c in best.deployment)
+    print(f"recommendation: {best.name} ({stacks}) — most independent pair")
+    if protocol == "psop":
+        print(
+            f"protocol traffic: {two_way.total_bytes / 1e6:.2f} MB across "
+            f"{len(two_way.entries)} two-way audits; no provider revealed "
+            f"a single package name."
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "psop")

@@ -1,0 +1,91 @@
+"""INDaaS — Independence-as-a-Service (OSDI 2014) reproduction.
+
+A library for *proactively* auditing the independence of redundant system
+deployments: collect structural dependency data (network, hardware,
+software), build fault graphs, find and rank risk groups, and — across
+mutually distrustful providers — audit privately with set-intersection
+cardinality protocols.
+
+Quickstart::
+
+    from repro import ComponentSets, minimal_risk_groups
+
+    sets = ComponentSets.from_mapping({
+        "E1": ["A1", "A2"],
+        "E2": ["A2", "A3"],
+    })
+    graph = sets.to_fault_graph()
+    print(minimal_risk_groups(graph))   # [{A2}, {A1, A3}]
+
+See ``examples/`` for end-to-end scenarios and ``DESIGN.md`` for the full
+system inventory.
+"""
+
+from repro.core import (
+    AuditReport,
+    AuditSpec,
+    ComponentSets,
+    DeploymentAudit,
+    DetailLevel,
+    Event,
+    FailureSampler,
+    FaultGraph,
+    FaultSets,
+    GateType,
+    RGAlgorithm,
+    RankedRiskGroup,
+    RankingMethod,
+    SIAAuditor,
+    SamplingResult,
+    build_dependency_graph,
+    component_sets_from_graph,
+    compose,
+    independence_score,
+    minimal_risk_groups,
+    rank_by_probability,
+    rank_by_size,
+    top_event_probability,
+    unexpected_risk_groups,
+)
+from repro.depdb import (
+    DepDB,
+    HardwareDependency,
+    NetworkDependency,
+    SoftwareDependency,
+)
+from repro.errors import IndaasError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuditReport",
+    "AuditSpec",
+    "ComponentSets",
+    "DepDB",
+    "DeploymentAudit",
+    "DetailLevel",
+    "Event",
+    "FailureSampler",
+    "FaultGraph",
+    "FaultSets",
+    "GateType",
+    "HardwareDependency",
+    "IndaasError",
+    "NetworkDependency",
+    "RGAlgorithm",
+    "RankedRiskGroup",
+    "RankingMethod",
+    "SIAAuditor",
+    "SamplingResult",
+    "SoftwareDependency",
+    "__version__",
+    "build_dependency_graph",
+    "component_sets_from_graph",
+    "compose",
+    "independence_score",
+    "minimal_risk_groups",
+    "rank_by_probability",
+    "rank_by_size",
+    "top_event_probability",
+    "unexpected_risk_groups",
+]

@@ -1,0 +1,75 @@
+"""Software dependency acquisition — the apt-rdepends substitute (§3).
+
+``apt-rdepends`` recursively lists the packages a program depends on.
+Our substitute resolves the same closure against a
+:class:`~repro.swinventory.packages.PackageUniverse` for the programs of
+interest on each server and emits ``<pgm, hw, dep>`` records.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.acquisition.base import DependencyAcquisitionModule, register_module
+from repro.depdb.records import SoftwareDependency
+from repro.errors import AcquisitionError
+from repro.swinventory.packages import PackageUniverse
+
+__all__ = ["SoftwarePackageCollector"]
+
+
+@register_module("software.apt")
+class SoftwarePackageCollector(DependencyAcquisitionModule):
+    """Package-closure collector.
+
+    Args:
+        universe: The package universe to resolve against.
+        installed: ``{server: [program, ...]}`` — the software components
+            of interest per server (the auditing client lists these
+            manually in the paper's prototype, §3).
+        use_identifiers: Emit normalised ``name@version`` identifiers
+            (PIA normalisation, §4.2.3) instead of bare names.
+    """
+
+    kind = "software"
+
+    def __init__(
+        self,
+        universe: PackageUniverse,
+        installed: Mapping[str, Sequence[str]],
+        use_identifiers: bool = True,
+    ) -> None:
+        if not installed:
+            raise AcquisitionError("no programs of interest configured")
+        self.universe = universe
+        self.installed = {
+            server: list(programs) for server, programs in installed.items()
+        }
+        self.use_identifiers = use_identifiers
+        for server, programs in self.installed.items():
+            if not programs:
+                raise AcquisitionError(
+                    f"server {server!r} lists no programs of interest"
+                )
+            for program in programs:
+                if program not in universe:
+                    raise AcquisitionError(
+                        f"program {program!r} (server {server!r}) not in "
+                        f"the package universe"
+                    )
+
+    def collect(self) -> list[SoftwareDependency]:
+        records = []
+        for server, programs in self.installed.items():
+            for program in programs:
+                if self.use_identifiers:
+                    deps = sorted(self.universe.closure_identifiers(program))
+                else:
+                    deps = sorted(self.universe.closure(program))
+                if not deps:
+                    # A dependency-free program still exists as a component.
+                    deps = [self.universe.get(program).identifier]
+                records.append(
+                    SoftwareDependency(pgm=program, hw=server, dep=tuple(deps))
+                )
+        return records

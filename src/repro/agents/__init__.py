@@ -1,0 +1,21 @@
+"""Workflow roles: auditing client, auditing agent, dependency data sources."""
+
+from repro.agents.agent import AuditingAgent
+from repro.agents.client import AuditingClient
+from repro.agents.datasource import DataSource
+from repro.agents.messages import (
+    AuditRequest,
+    AuditResponse,
+    DependencyDataRequest,
+    DependencyDataResponse,
+)
+
+__all__ = [
+    "AuditRequest",
+    "AuditResponse",
+    "AuditingAgent",
+    "AuditingClient",
+    "DataSource",
+    "DependencyDataRequest",
+    "DependencyDataResponse",
+]

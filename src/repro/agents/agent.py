@@ -1,0 +1,166 @@
+"""The auditing agent: mediates clients and data sources (§2, Figure 1).
+
+In SIA mode the agent pulls full dependency data from every data source,
+merges it into one DepDB, runs the :class:`~repro.core.audit.SIAAuditor`
+pipeline per candidate deployment and returns the ranked report.
+
+In PIA mode the agent never sees raw dependency data: it only supervises
+the P-SOP rounds between the sources' proxies and assembles the ranking
+from the similarity values they jointly computed (§4.2.5).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.agents.datasource import DataSource
+from repro.agents.messages import (
+    AuditRequest,
+    AuditResponse,
+    DependencyDataRequest,
+)
+from repro.core.audit import SIAAuditor
+from repro.core.builder import Weigher
+from repro.core.ranking import RankingMethod
+from repro.core.spec import AuditSpec, RGAlgorithm
+from repro.depdb.database import DepDB
+from repro.errors import SpecificationError
+from repro.privacy.pia import PIAAuditor
+
+__all__ = ["AuditingAgent"]
+
+
+class AuditingAgent:
+    """The mediator role of Figure 1.
+
+    Args:
+        sources: The data sources this agent can reach, by name.
+        weigher: Optional failure-probability source for SIA audits.
+        rg_algorithm: Risk-group algorithm for SIA audits.
+        sampling_rounds: Rounds when the sampling algorithm is selected.
+        pia_group_bits: Commutative group size for PIA (paper: 1024).
+    """
+
+    def __init__(
+        self,
+        sources: Mapping[str, DataSource],
+        weigher: Optional[Weigher] = None,
+        rg_algorithm: RGAlgorithm = RGAlgorithm.MINIMAL,
+        sampling_rounds: int = 100_000,
+        pia_group_bits: int = 1024,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if not sources:
+            raise SpecificationError("agent needs at least one data source")
+        self.sources = dict(sources)
+        self.weigher = weigher
+        self.rg_algorithm = rg_algorithm
+        self.sampling_rounds = sampling_rounds
+        self.pia_group_bits = pia_group_bits
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+
+    def handle(self, request: AuditRequest) -> AuditResponse:
+        """Serve one client audit request (Steps 2–6)."""
+        missing = [s for s in request.data_sources if s not in self.sources]
+        if missing:
+            raise SpecificationError(f"unknown data sources: {missing}")
+        if request.mode == "sia":
+            return self._handle_sia(request)
+        return self._handle_pia(request)
+
+    # ------------------------------------------------------------------ #
+    # SIA path
+    # ------------------------------------------------------------------ #
+
+    def _merged_depdb(self, request: AuditRequest) -> DepDB:
+        """Steps 2–5: query each source and merge the returned records."""
+        merged = DepDB()
+        for source_name in request.data_sources:
+            response = self.sources[source_name].handle(
+                DependencyDataRequest(
+                    source=source_name,
+                    dependency_types=request.dependency_types,
+                    programs=request.programs,
+                )
+            )
+            merged.merge(DepDB.loads(response.payload))
+        return merged
+
+    def _handle_sia(self, request: AuditRequest) -> AuditResponse:
+        depdb = self._merged_depdb(request)
+        auditor = SIAAuditor(depdb, weigher=self.weigher)
+        ranking = (
+            RankingMethod.SIZE
+            if request.metric == "size"
+            else RankingMethod.PROBABILITY
+        )
+        specs = []
+        for servers in request.deployments:
+            specs.append(
+                AuditSpec(
+                    deployment=" & ".join(servers),
+                    servers=tuple(servers),
+                    required=min(request.redundancy, len(servers)),
+                    programs=request.programs,
+                    algorithm=self.rg_algorithm,
+                    sampling_rounds=self.sampling_rounds,
+                    ranking=ranking,
+                    top_n=5,
+                    seed=self.seed,
+                )
+            )
+        report = auditor.audit(
+            specs, title=f"SIA audit for {request.client}", client=request.client
+        )
+        return AuditResponse(
+            client=request.client,
+            report_json=report.to_json(),
+            mode="sia",
+            notes=(report.summary(),),
+        )
+
+    # ------------------------------------------------------------------ #
+    # PIA path
+    # ------------------------------------------------------------------ #
+
+    def _handle_pia(self, request: AuditRequest) -> AuditResponse:
+        component_sets = {}
+        for source_name in request.data_sources:
+            component_sets[source_name] = self.sources[
+                source_name
+            ].component_set(
+                include_kinds=tuple(
+                    k for k in request.dependency_types if k != "hardware"
+                )
+                or ("network", "software"),
+            )
+        auditor = PIAAuditor(
+            component_sets,
+            protocol="psop",
+            group_bits=self.pia_group_bits,
+            seed=self.seed,
+        )
+        sizes = sorted({len(d) for d in request.deployments})
+        if len(sizes) != 1:
+            raise SpecificationError(
+                "PIA audits one redundancy arity at a time; "
+                f"got deployments of sizes {sizes}"
+            )
+        report = auditor.audit(
+            ways=sizes[0],
+            providers=list(request.data_sources),
+            title=f"PIA audit for {request.client}",
+        )
+        return AuditResponse(
+            client=request.client,
+            report_json=report.to_json(),
+            mode="pia",
+            notes=(
+                f"{len(report.entries)} deployments ranked privately; "
+                f"best: {report.best().name}",
+            ),
+        )

@@ -1,0 +1,73 @@
+"""The auditing client: the requesting role of Figure 1 (Alice).
+
+A thin convenience wrapper that builds well-formed
+:class:`~repro.agents.messages.AuditRequest` messages, sends them to an
+agent and unpacks the report — one call per §2 workflow run.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional, Sequence
+
+from repro.agents.agent import AuditingAgent
+from repro.agents.messages import AuditRequest, AuditResponse
+from repro.errors import SpecificationError
+
+__all__ = ["AuditingClient"]
+
+
+class AuditingClient:
+    """Client-side API for requesting audits."""
+
+    def __init__(self, name: str, agent: AuditingAgent) -> None:
+        if not name:
+            raise SpecificationError("client name must be non-empty")
+        self.name = name
+        self.agent = agent
+
+    def request_audit(
+        self,
+        data_sources: Sequence[str],
+        deployments: Sequence[Sequence[str]],
+        mode: str = "sia",
+        metric: str = "size",
+        dependency_types: Sequence[str] = ("network", "hardware", "software"),
+        redundancy: int = 1,
+        programs: Optional[Sequence[str]] = None,
+    ) -> AuditResponse:
+        """Step 1: send a fully-specified audit request."""
+        request = AuditRequest(
+            client=self.name,
+            data_sources=tuple(data_sources),
+            deployments=tuple(tuple(d) for d in deployments),
+            redundancy=redundancy,
+            dependency_types=tuple(dependency_types),
+            metric=metric,
+            mode=mode,
+            programs=None if programs is None else tuple(programs),
+        )
+        return self.agent.handle(request)
+
+    def audit_all_pairs(
+        self,
+        data_sources: Sequence[str],
+        servers: Sequence[str],
+        mode: str = "sia",
+        **kwargs,
+    ) -> AuditResponse:
+        """Audit every two-way deployment over a server pool — the
+        "which pair of racks should I use?" question of §6.2.1."""
+        deployments = [list(pair) for pair in combinations(servers, 2)]
+        return self.request_audit(
+            data_sources, deployments, mode=mode, **kwargs
+        )
+
+    def best_deployment(self, response: AuditResponse) -> list[str]:
+        """Extract the most independent deployment from a response."""
+        report = response.report_dict()
+        if response.mode == "sia":
+            best = report["deployments"][0]
+            return list(best["sources"])
+        best = report["entries"][0]
+        return list(best["deployment"])

@@ -1,0 +1,45 @@
+"""Analyses: exhaustive formal deployment analysis and the §6.2 case studies."""
+
+from repro.analysis.case_studies import (
+    HardwareCaseResult,
+    NetworkCaseResult,
+    hardware_case_study,
+    network_case_study,
+    software_case_study,
+)
+from repro.analysis.drift import (
+    DepDBDiff,
+    DriftReport,
+    diff_depdbs,
+    drift_report,
+)
+from repro.analysis.whatif import (
+    Duplicate,
+    Harden,
+    MitigationOutcome,
+    evaluate_mitigations,
+)
+from repro.analysis.formal import (
+    DeploymentAnalysis,
+    FormalAnalysisResult,
+    formal_analysis,
+)
+
+__all__ = [
+    "DepDBDiff",
+    "DeploymentAnalysis",
+    "DriftReport",
+    "Duplicate",
+    "Harden",
+    "MitigationOutcome",
+    "FormalAnalysisResult",
+    "HardwareCaseResult",
+    "NetworkCaseResult",
+    "diff_depdbs",
+    "drift_report",
+    "evaluate_mitigations",
+    "formal_analysis",
+    "hardware_case_study",
+    "network_case_study",
+    "software_case_study",
+]

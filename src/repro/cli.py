@@ -1,0 +1,314 @@
+"""``indaas`` command line interface.
+
+Subcommands mirror the evaluation:
+
+* ``indaas case network``    — §6.2.1 network case study
+* ``indaas case hardware``   — §6.2.2 hardware case study
+* ``indaas case software``   — §6.2.3 private software audit (Table 2)
+* ``indaas topology``        — Table 3 fat-tree census
+* ``indaas audit``           — SIA audit of a DepDB file
+* ``indaas drift``           — periodic audit across two DepDB snapshots
+* ``indaas importance``      — per-component importance measures
+* ``indaas example``         — Figure 4 worked example
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import __version__
+from repro.errors import IndaasError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="indaas",
+        description=(
+            "INDaaS: proactive independence auditing of redundant "
+            "deployments (OSDI'14 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"indaas {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    case = sub.add_parser("case", help="run a §6.2 case study")
+    case.add_argument(
+        "study", choices=("network", "hardware", "software"),
+        help="which case study to run",
+    )
+    case.add_argument(
+        "--rounds", type=int, default=50_000,
+        help="sampling rounds for the network study (default 50000)",
+    )
+    case.add_argument(
+        "--group-bits", type=int, default=768,
+        help="P-SOP group size for the software study (default 768)",
+    )
+
+    topo = sub.add_parser("topology", help="Table 3 fat-tree census")
+    topo.add_argument(
+        "--ports", type=int, default=16,
+        help="switch port count k (Table 3 uses 16/24/48)",
+    )
+
+    audit = sub.add_parser("audit", help="SIA audit over a DepDB file")
+    audit.add_argument("depdb", help="path to a DepDB dump (Table-1 lines)")
+    audit.add_argument(
+        "--servers", required=True,
+        help="comma-separated servers of the deployment",
+    )
+    audit.add_argument(
+        "--algorithm", choices=("minimal", "sampling"), default="minimal"
+    )
+    audit.add_argument("--rounds", type=int, default=100_000)
+    audit.add_argument("--top", type=int, default=10)
+
+    drift = sub.add_parser(
+        "drift", help="compare two DepDB snapshots (periodic audit)"
+    )
+    drift.add_argument("before", help="previous DepDB dump")
+    drift.add_argument("after", help="current DepDB dump")
+    drift.add_argument(
+        "--servers", required=True,
+        help="comma-separated servers of the audited deployment",
+    )
+    drift.add_argument(
+        "--probability", type=float, default=None,
+        help="uniform component failure probability (optional)",
+    )
+
+    importance = sub.add_parser(
+        "importance", help="per-component importance measures"
+    )
+    importance.add_argument("depdb", help="path to a DepDB dump")
+    importance.add_argument("--servers", required=True)
+    importance.add_argument(
+        "--probability", type=float, default=0.1,
+        help="uniform component failure probability (default 0.1)",
+    )
+    importance.add_argument("--top", type=int, default=10)
+
+    pia = sub.add_parser(
+        "pia", help="private audit over component-set JSON files"
+    )
+    pia.add_argument(
+        "sets",
+        help=(
+            "JSON file mapping provider name -> list of normalised "
+            "component identifiers"
+        ),
+    )
+    pia.add_argument("--ways", type=int, default=2)
+    pia.add_argument(
+        "--protocol", choices=("psop", "psop-minhash", "plaintext"),
+        default="psop",
+    )
+    pia.add_argument("--group-bits", type=int, default=768)
+
+    sub.add_parser("example", help="Figure 4 worked example")
+    return parser
+
+
+def _run_case(args: argparse.Namespace) -> int:
+    if args.study == "network":
+        from repro.analysis.case_studies import network_case_study
+
+        result = network_case_study(sampling_rounds=args.rounds)
+        print(result.report.summary())
+        print(result.formal.summary())
+        print(f"matches paper: {result.matches_paper}")
+        return 0
+    if args.study == "hardware":
+        from repro.analysis.case_studies import hardware_case_study
+
+        result = hardware_case_study()
+        print("VM placements:", result.placements)
+        print("top risk groups of the initial Riak deployment:")
+        for entry in result.riak_audit.top_risk_groups(4):
+            print("  ", entry.describe())
+        print(f"recommended re-deployment: {result.recommended_pair}")
+        print(f"matches paper: {result.matches_paper}")
+        return 0
+    from repro.analysis.case_studies import software_case_study
+
+    two_way, three_way = software_case_study(group_bits=args.group_bits)
+    print(two_way.render_text())
+    print()
+    print(three_way.render_text())
+    return 0
+
+
+def _run_topology(args: argparse.Namespace) -> int:
+    from repro.topology.fattree import FatTreeConfig, fat_tree
+
+    config = FatTreeConfig(ports=args.ports)
+    topology = fat_tree(config)
+    counts = topology.counts()
+    print(f"fat tree with k={args.ports} switch ports")
+    for row in ("core", "aggregation", "tor", "server"):
+        print(f"  {row:<12} {counts.get(row, 0):>8}")
+    print(f"  {'total':<12} {counts['total']:>8}")
+    return 0
+
+
+def _run_audit(args: argparse.Namespace) -> int:
+    from repro.core.audit import SIAAuditor
+    from repro.core.spec import AuditSpec, RGAlgorithm
+    from repro.depdb.database import DepDB
+
+    with open(args.depdb, encoding="utf-8") as handle:
+        depdb = DepDB.loads(handle.read())
+    servers = tuple(s.strip() for s in args.servers.split(",") if s.strip())
+    spec = AuditSpec(
+        deployment=" & ".join(servers),
+        servers=servers,
+        algorithm=(
+            RGAlgorithm.MINIMAL
+            if args.algorithm == "minimal"
+            else RGAlgorithm.SAMPLING
+        ),
+        sampling_rounds=args.rounds,
+    )
+    audit = SIAAuditor(depdb).audit_deployment(spec)
+    print(f"deployment: {audit.deployment}  (score={audit.score:.4g})")
+    if audit.has_unexpected_risk_groups:
+        print(f"!! {len(audit.unexpected_risk_groups)} unexpected risk groups")
+    for entry in audit.top_risk_groups(args.top):
+        print("  ", entry.describe())
+    return 0
+
+
+def _parse_servers(raw: str) -> tuple[str, ...]:
+    from repro.errors import SpecificationError
+
+    servers = tuple(s.strip() for s in raw.split(",") if s.strip())
+    if not servers:
+        raise SpecificationError("no servers given")
+    return servers
+
+
+def _run_drift(args: argparse.Namespace) -> int:
+    from repro.analysis import drift_report
+    from repro.core.spec import AuditSpec
+    from repro.depdb.database import DepDB
+    from repro.failures import uniform_weigher
+
+    with open(args.before, encoding="utf-8") as handle:
+        before = DepDB.loads(handle.read())
+    with open(args.after, encoding="utf-8") as handle:
+        after = DepDB.loads(handle.read())
+    servers = _parse_servers(args.servers)
+    weigher = (
+        uniform_weigher(args.probability)
+        if args.probability is not None
+        else None
+    )
+    report = drift_report(
+        before,
+        after,
+        AuditSpec(deployment=" & ".join(servers), servers=servers),
+        weigher=weigher,
+    )
+    print(report.diff.render_text())
+    print()
+    print(report.render_text())
+    return 2 if report.regressed else 0
+
+
+def _run_importance(args: argparse.Namespace) -> int:
+    from repro.core.audit import SIAAuditor
+    from repro.core.importance import component_importance_ranking
+    from repro.core.spec import AuditSpec
+    from repro.depdb.database import DepDB
+    from repro.failures import uniform_weigher
+
+    with open(args.depdb, encoding="utf-8") as handle:
+        depdb = DepDB.loads(handle.read())
+    servers = _parse_servers(args.servers)
+    auditor = SIAAuditor(depdb, weigher=uniform_weigher(args.probability))
+    graph = auditor.build_graph(
+        AuditSpec(deployment=" & ".join(servers), servers=servers)
+    )
+    print(f"component importance for {' & '.join(servers)} "
+          f"(uniform p={args.probability}):")
+    for entry in component_importance_ranking(graph)[: args.top]:
+        print("  ", entry.describe())
+    return 0
+
+
+def _run_pia(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import SpecificationError
+    from repro.privacy.pia import PIAAuditor
+
+    with open(args.sets, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SpecificationError(f"invalid component-set JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise SpecificationError(
+            "component-set file must map provider names to lists"
+        )
+    auditor = PIAAuditor(
+        payload, protocol=args.protocol, group_bits=args.group_bits
+    )
+    report = auditor.audit(ways=args.ways)
+    print(report.render_text())
+    return 0
+
+
+def _run_example() -> int:
+    from repro import (
+        FaultSets,
+        minimal_risk_groups,
+        rank_by_probability,
+        top_event_probability,
+    )
+
+    fault_sets = FaultSets.from_mapping(
+        {"E1": {"A1": 0.1, "A2": 0.2}, "E2": {"A2": 0.2, "A3": 0.3}}
+    )
+    graph = fault_sets.to_fault_graph("figure-4b")
+    groups = minimal_risk_groups(graph)
+    probabilities = fault_sets.probabilities()
+    top_probability = top_event_probability(groups, probabilities)
+    print("minimal risk groups:", [sorted(g) for g in groups])
+    print(f"Pr(top) = {top_probability:.3f}   (paper: 0.224)")
+    for entry in rank_by_probability(groups, probabilities):
+        print("  ", entry.describe())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "case":
+            return _run_case(args)
+        if args.command == "topology":
+            return _run_topology(args)
+        if args.command == "audit":
+            return _run_audit(args)
+        if args.command == "drift":
+            return _run_drift(args)
+        if args.command == "importance":
+            return _run_importance(args)
+        if args.command == "pia":
+            return _run_pia(args)
+        return _run_example()
+    except IndaasError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # e.g. `indaas ... | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

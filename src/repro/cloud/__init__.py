@@ -1,0 +1,14 @@
+"""Cloud substrate: providers, redundancy deployments, VM scheduling."""
+
+from repro.cloud.deployment import RedundancyDeployment, enumerate_deployments
+from repro.cloud.openstack import Host, Placement, Scheduler
+from repro.cloud.provider import CloudProvider
+
+__all__ = [
+    "CloudProvider",
+    "Host",
+    "Placement",
+    "RedundancyDeployment",
+    "Scheduler",
+    "enumerate_deployments",
+]

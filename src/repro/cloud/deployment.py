@@ -1,0 +1,74 @@
+"""Redundancy deployments: which providers/servers back a service (§2).
+
+A deployment names the redundant resources a client rents and how many
+must survive.  Helpers enumerate all candidate n-way deployments over a
+provider pool — the shape of both Table 2 (all 2-way and 3-way provider
+combinations) and the §6.2.1 rack analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from repro.errors import SpecificationError
+
+__all__ = ["RedundancyDeployment", "enumerate_deployments"]
+
+
+@dataclass(frozen=True)
+class RedundancyDeployment:
+    """An n-of-m redundant deployment over named resources.
+
+    Attributes:
+        members: The redundant resources (providers, servers or racks).
+        required: How many members must stay alive (n); defaults to 1,
+            i.e. plain replication.
+    """
+
+    members: tuple[str, ...]
+    required: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise SpecificationError("deployment needs at least one member")
+        if len(set(self.members)) != len(self.members):
+            raise SpecificationError(f"duplicate members: {self.members}")
+        if not 1 <= self.required <= len(self.members):
+            raise SpecificationError(
+                f"required={self.required} outside 1..{len(self.members)}"
+            )
+
+    @property
+    def ways(self) -> int:
+        """Replication factor (m in n-of-m)."""
+        return len(self.members)
+
+    @property
+    def name(self) -> str:
+        return " & ".join(self.members)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def enumerate_deployments(
+    pool: Sequence[str], ways: int, required: int = 1
+) -> list[RedundancyDeployment]:
+    """All ``ways``-member deployments over a resource pool.
+
+    >>> [d.name for d in enumerate_deployments(["A", "B", "C"], 2)]
+    ['A & B', 'A & C', 'B & C']
+    """
+    members = list(pool)
+    if len(set(members)) != len(members):
+        raise SpecificationError(f"duplicate resources in pool: {members}")
+    if not 1 <= ways <= len(members):
+        raise SpecificationError(
+            f"ways={ways} outside 1..{len(members)}"
+        )
+    return [
+        RedundancyDeployment(members=combo, required=min(required, ways))
+        for combo in combinations(members, ways)
+    ]

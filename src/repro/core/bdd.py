@@ -1,0 +1,308 @@
+"""Binary decision diagrams over fault graphs.
+
+The MOCUS-style cut-set route (§4.1.2) and inclusion–exclusion (§4.1.3)
+both explode combinatorially; the classic remedy in fault-tree analysis
+is to compile the structure function into a **reduced ordered BDD**
+(Bryant 1986, Rauzy 1993).  On a BDD,
+
+* the exact top-event probability of a *shared-node DAG* is a single
+  linear-time traversal (``tree_probability`` refuses those graphs),
+* failure-state *model counting* is linear (the quantity ApproxCount-
+  style samplers estimate — §4.1.2's improvement hint), and
+* minimal cut sets fall out of Rauzy's recursion.
+
+This is an extension beyond the paper's prototype, ablated in the
+benchmarks against the inclusion–exclusion and Monte-Carlo routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.events import GateType
+from repro.core.faultgraph import FaultGraph
+from repro.core.minimal_rg import minimise_family
+from repro.errors import AnalysisError
+
+__all__ = ["BDD", "compile_graph"]
+
+#: Terminal node ids.
+ZERO = 0
+ONE = 1
+
+
+@dataclass(frozen=True)
+class _Node:
+    """One decision node: branch on ``var`` (an ordering index)."""
+
+    var: int
+    low: int   # node id when the variable is False (component alive)
+    high: int  # node id when the variable is True (component failed)
+
+
+class BDD:
+    """A reduced ordered BDD manager for one fault graph.
+
+    Use :func:`compile_graph`; the manager is not a general-purpose BDD
+    library (no quantification, no dynamic reordering) — just what fault
+    analysis needs, kept small and auditable.
+    """
+
+    def __init__(self, variables: list[str]) -> None:
+        if len(set(variables)) != len(variables):
+            raise AnalysisError("duplicate variable names")
+        self.variables = list(variables)
+        self.var_index = {name: i for i, name in enumerate(variables)}
+        self._nodes: list[Optional[_Node]] = [None, None]  # 0 and 1
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._apply_cache: dict[tuple[str, int, int], int] = {}
+        self.root = ZERO
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def node(self, node_id: int) -> _Node:
+        node = self._nodes[node_id]
+        if node is None:
+            raise AnalysisError(f"node {node_id} is a terminal")
+        return node
+
+    def is_terminal(self, node_id: int) -> bool:
+        return node_id in (ZERO, ONE)
+
+    def make(self, var: int, low: int, high: int) -> int:
+        """Hash-consed node creation with the reduction rule."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        self._nodes.append(_Node(var, low, high))
+        node_id = len(self._nodes) - 1
+        self._unique[key] = node_id
+        return node_id
+
+    def literal(self, name: str) -> int:
+        """The BDD of "component ``name`` failed"."""
+        try:
+            var = self.var_index[name]
+        except KeyError:
+            raise AnalysisError(f"unknown variable {name!r}") from None
+        return self.make(var, ZERO, ONE)
+
+    def apply(self, op: str, left: int, right: int) -> int:
+        """Binary AND/OR with memoisation (Bryant's apply)."""
+        if op == "and":
+            if left == ZERO or right == ZERO:
+                return ZERO
+            if left == ONE:
+                return right
+            if right == ONE:
+                return left
+        elif op == "or":
+            if left == ONE or right == ONE:
+                return ONE
+            if left == ZERO:
+                return right
+            if right == ZERO:
+                return left
+        else:
+            raise AnalysisError(f"unknown operation {op!r}")
+        if left == right:
+            return left
+        key = (op, min(left, right), max(left, right))
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        l_node, r_node = self.node(left), self.node(right)
+        if l_node.var == r_node.var:
+            result = self.make(
+                l_node.var,
+                self.apply(op, l_node.low, r_node.low),
+                self.apply(op, l_node.high, r_node.high),
+            )
+        elif l_node.var < r_node.var:
+            result = self.make(
+                l_node.var,
+                self.apply(op, l_node.low, right),
+                self.apply(op, l_node.high, right),
+            )
+        else:
+            result = self.make(
+                r_node.var,
+                self.apply(op, left, r_node.low),
+                self.apply(op, left, r_node.high),
+            )
+        self._apply_cache[key] = result
+        return result
+
+    def apply_many(self, op: str, operands: list[int]) -> int:
+        if not operands:
+            raise AnalysisError("apply_many needs at least one operand")
+        result = operands[0]
+        for operand in operands[1:]:
+            result = self.apply(op, result, operand)
+        return result
+
+    def at_least(self, k: int, operands: list[int]) -> int:
+        """BDD of "at least k of the operands are true" (k-of-n gates)."""
+        if not 1 <= k <= len(operands):
+            raise AnalysisError(
+                f"threshold {k} outside 1..{len(operands)}"
+            )
+        # DP over children: state[j] = "at least j of the seen children".
+        state = [ONE] + [ZERO] * k
+        for operand in operands:
+            for j in range(k, 0, -1):
+                state[j] = self.apply(
+                    "or", state[j], self.apply("and", state[j - 1], operand)
+                )
+        return state[k]
+
+    # ------------------------------------------------------------------ #
+    # Analyses
+    # ------------------------------------------------------------------ #
+
+    def size(self) -> int:
+        """Decision nodes reachable from the root."""
+        seen: set[int] = set()
+        stack = [self.root]
+        while stack:
+            node_id = stack.pop()
+            if self.is_terminal(node_id) or node_id in seen:
+                continue
+            seen.add(node_id)
+            node = self.node(node_id)
+            stack.extend((node.low, node.high))
+        return len(seen)
+
+    def evaluate(self, failed: set[str]) -> bool:
+        """Follow one assignment down the diagram."""
+        node_id = self.root
+        while not self.is_terminal(node_id):
+            node = self.node(node_id)
+            name = self.variables[node.var]
+            node_id = node.high if name in failed else node.low
+        return node_id == ONE
+
+    def probability(self, probabilities: Mapping[str, float]) -> float:
+        """Exact top-event probability under independent failures.
+
+        Linear in BDD size; correct for shared-node DAGs, unlike a
+        bottom-up walk of the fault graph itself.
+        """
+        cache: dict[int, float] = {ZERO: 0.0, ONE: 1.0}
+
+        def walk(node_id: int) -> float:
+            cached = cache.get(node_id)
+            if cached is not None:
+                return cached
+            node = self.node(node_id)
+            name = self.variables[node.var]
+            try:
+                p = probabilities[name]
+            except KeyError:
+                raise AnalysisError(
+                    f"no failure probability for {name!r}"
+                ) from None
+            value = p * walk(node.high) + (1.0 - p) * walk(node.low)
+            cache[node_id] = value
+            return value
+
+        return walk(self.root)
+
+    def count_failure_states(self) -> int:
+        """Number of assignments that fail the top event (model count).
+
+        This is the quantity SAT-based counters like ApproxCount
+        estimate; with a BDD it is exact and linear.
+        """
+        n = len(self.variables)
+        cache: dict[int, int] = {ZERO: 0, ONE: 1}
+
+        def walk(node_id: int) -> int:
+            if node_id in cache:
+                return cache[node_id]
+            node = self.node(node_id)
+            low_count = walk(node.low)
+            high_count = walk(node.high)
+            low_depth = (
+                n if self.is_terminal(node.low) else self.node(node.low).var
+            )
+            high_depth = (
+                n if self.is_terminal(node.high) else self.node(node.high).var
+            )
+            count = low_count * (1 << (low_depth - node.var - 1)) + (
+                high_count * (1 << (high_depth - node.var - 1))
+            )
+            cache[node_id] = count
+            return count
+
+        if self.is_terminal(self.root):
+            return 0 if self.root == ZERO else 1 << n
+        root_var = self.node(self.root).var
+        return walk(self.root) * (1 << root_var)
+
+    def minimal_cut_sets(self) -> list[frozenset[str]]:
+        """Minimal cut sets via Rauzy's recursion (validated in tests
+        against the MOCUS implementation)."""
+        cache: dict[int, list[frozenset[str]]] = {
+            ZERO: [],
+            ONE: [frozenset()],
+        }
+
+        def walk(node_id: int) -> list[frozenset[str]]:
+            cached = cache.get(node_id)
+            if cached is not None:
+                return cached
+            node = self.node(node_id)
+            name = self.variables[node.var]
+            low_sets = walk(node.low)
+            high_sets = [s | {name} for s in walk(node.high)]
+            result = minimise_family(low_sets + high_sets)
+            cache[node_id] = result
+            return result
+
+        return sorted(
+            walk(self.root), key=lambda s: (len(s), sorted(s))
+        )
+
+
+def compile_graph(
+    graph: FaultGraph, ordering: Optional[list[str]] = None
+) -> BDD:
+    """Compile a fault graph's structure function into a BDD.
+
+    Args:
+        graph: Any validated fault graph (shared nodes welcome).
+        ordering: Optional variable ordering (basic-event names); the
+            default uses the graph's topological leaf order, which keeps
+            related components adjacent and the BDD small.
+    """
+    graph.validate()
+    leaves = (
+        list(ordering) if ordering is not None else graph.basic_events()
+    )
+    if set(leaves) != set(graph.basic_events()):
+        raise AnalysisError(
+            "ordering must contain exactly the graph's basic events"
+        )
+    bdd = BDD(leaves)
+    node_bdds: dict[str, int] = {}
+    for name in graph.topological_order():
+        event = graph.event(name)
+        if event.is_basic:
+            node_bdds[name] = bdd.literal(name)
+            continue
+        children = [node_bdds[c] for c in graph.children(name)]
+        if event.gate is GateType.OR:
+            node_bdds[name] = bdd.apply_many("or", children)
+        elif event.gate is GateType.AND:
+            node_bdds[name] = bdd.apply_many("and", children)
+        else:
+            node_bdds[name] = bdd.at_least(graph.threshold(name), children)
+    bdd.root = node_bdds[graph.top]
+    return bdd

@@ -1,0 +1,131 @@
+"""Dependency-graph composition (§4.1.1, "composing individual graphs").
+
+Cloud services stack on other services: EC2 instances depend on EBS volumes
+and ELB load balancers, each with dependency graphs of their own.  The
+INDaaS prototype composes individual graphs into aggregate ones by
+substituting a *placeholder basic event* in the consumer's graph (e.g.
+``service:EBS``) with the full fault graph of the provider service.
+
+Shared infrastructure appearing in several sub-graphs merges by node name,
+which is exactly what exposes cross-service common dependencies — the
+EBS-server scenario from the paper's introduction.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.faultgraph import FaultGraph
+from repro.errors import FaultGraphError
+
+__all__ = ["compose"]
+
+
+def compose(
+    primary: FaultGraph,
+    substitutions: Mapping[str, FaultGraph],
+    name: Optional[str] = None,
+) -> FaultGraph:
+    """Substitute placeholder leaves of ``primary`` with whole sub-graphs.
+
+    Args:
+        primary: The consumer service's fault graph.
+        substitutions: ``{placeholder_leaf_name: provider_graph}``; every
+            key must name a *basic* event of ``primary``, which is replaced
+            by the provider graph's top event.
+        name: Name for the composed graph.
+
+    Returns:
+        A new validated graph.  Basic events appearing in several inputs
+        (same name) become shared nodes; their probabilities must agree.
+
+    Raises:
+        FaultGraphError: On unknown/non-basic placeholders, conflicting
+            node definitions, or conflicting probabilities.
+    """
+    for placeholder in substitutions:
+        if placeholder not in primary:
+            raise FaultGraphError(
+                f"placeholder {placeholder!r} not present in primary graph"
+            )
+        if not primary.is_basic(placeholder):
+            raise FaultGraphError(
+                f"placeholder {placeholder!r} must be a basic event"
+            )
+    out = FaultGraph(name or f"composed:{primary.name}")
+    for sub in substitutions.values():
+        _merge_graph(out, sub, rename={})
+    rename = {ph: sub.top for ph, sub in substitutions.items()}
+    _merge_graph(out, primary, rename=rename, skip=set(substitutions))
+    out.set_top(rename.get(primary.top, primary.top))
+    out.validate()
+    return out
+
+
+def _merge_graph(
+    out: FaultGraph,
+    graph: FaultGraph,
+    rename: Mapping[str, str],
+    skip: Optional[set[str]] = None,
+) -> None:
+    """Copy ``graph`` into ``out``, mapping child names through ``rename``."""
+    skip = skip or set()
+    for node in graph.topological_order():
+        if node in skip:
+            continue
+        event = graph.event(node)
+        target = rename.get(node, node)
+        if event.is_basic:
+            if target in out:
+                existing = out.event(target)
+                if not existing.is_basic:
+                    raise FaultGraphError(
+                        f"{target!r} is a gate in one input and a basic "
+                        f"event in another"
+                    )
+                if (
+                    existing.probability is not None
+                    and event.probability is not None
+                    and existing.probability != event.probability
+                ):
+                    raise FaultGraphError(
+                        f"conflicting probabilities for shared event "
+                        f"{target!r}: {existing.probability} vs "
+                        f"{event.probability}"
+                    )
+                if existing.probability is None:
+                    existing.probability = event.probability
+                continue
+            out.add_basic_event(
+                target,
+                probability=event.probability,
+                description=event.description,
+                kind=event.kind,
+            )
+            continue
+        children = tuple(
+            dict.fromkeys(rename.get(c, c) for c in graph.children(node))
+        )
+        if target in out:
+            if out.is_basic(target):
+                raise FaultGraphError(
+                    f"{target!r} is a basic event in one input and a gate "
+                    f"in another"
+                )
+            if (
+                out.children(target) != children
+                or out.event(target).gate is not event.gate
+            ):
+                raise FaultGraphError(
+                    f"conflicting definitions for shared gate {target!r}"
+                )
+            continue
+        out.add_gate(
+            target,
+            event.gate,
+            children,
+            k=event.k,
+            probability=event.probability,
+            description=event.description,
+            kind=event.kind,
+        )

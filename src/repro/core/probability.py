@@ -1,0 +1,249 @@
+"""Failure probability computations (§4.1.3, "Failure probability ranking").
+
+The probability-based ranking needs two quantities:
+
+* ``Pr(C)`` for a risk group ``C`` — the chance that every event in ``C``
+  fails simultaneously (a plain product under independence);
+* ``Pr(T)`` for the top event — computed by the inclusion–exclusion
+  principle over the minimal RGs of ``T`` (the paper's worked example:
+  ``Pr(T) = 0.1*0.3 + 0.2 - 0.1*0.3*0.2 = 0.224``).
+
+Inclusion–exclusion is exponential in the number of minimal RGs, so this
+module also offers Monte-Carlo estimation and the standard rare-event /
+Esary–Proschan approximations for large families, selected by ``method``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.events import GateType
+from repro.core.faultgraph import FaultGraph
+from repro.errors import AnalysisError
+
+__all__ = [
+    "cut_probability",
+    "union_probability",
+    "top_event_probability",
+    "relative_importance",
+    "tree_probability",
+    "graph_probability_sampled",
+]
+
+#: Above this many cut sets, exact inclusion-exclusion (2^n terms) is
+#: refused and an approximate method must be chosen.
+EXACT_LIMIT = 20
+
+
+def cut_probability(
+    cut: Iterable[str], probabilities: Mapping[str, float]
+) -> float:
+    """Probability that *all* events in ``cut`` fail (independent events)."""
+    prob = 1.0
+    for event in cut:
+        try:
+            prob *= probabilities[event]
+        except KeyError:
+            raise AnalysisError(f"no failure probability for {event!r}") from None
+    return prob
+
+
+def union_probability(
+    cuts: Sequence[frozenset[str]],
+    probabilities: Mapping[str, float],
+    method: str = "auto",
+    mc_rounds: int = 200_000,
+    seed: int = 0,
+) -> float:
+    """Probability that at least one cut fully fails.
+
+    Args:
+        cuts: Collection of cut sets (typically the minimal RGs).
+        probabilities: Failure probability per basic event.
+        method: ``"exact"`` (inclusion–exclusion), ``"monte-carlo"``,
+            ``"rare-event"`` (first-order upper bound ``sum Pr(ci)``),
+            ``"esary-proschan"`` (``1 - prod(1 - Pr(ci))``), or ``"auto"``
+            which picks exact when feasible and Monte-Carlo otherwise.
+    """
+    cut_list = [frozenset(c) for c in cuts]
+    if not cut_list:
+        raise AnalysisError("cannot compute a union over zero cut sets")
+    if method == "auto":
+        method = "exact" if len(cut_list) <= EXACT_LIMIT else "monte-carlo"
+    if method == "exact":
+        if len(cut_list) > EXACT_LIMIT:
+            raise AnalysisError(
+                f"{len(cut_list)} cut sets exceed the exact inclusion-"
+                f"exclusion limit ({EXACT_LIMIT}); use method='monte-carlo'"
+            )
+        return _inclusion_exclusion(cut_list, probabilities)
+    if method == "monte-carlo":
+        return _monte_carlo_union(cut_list, probabilities, mc_rounds, seed)
+    if method == "rare-event":
+        return min(
+            1.0, sum(cut_probability(c, probabilities) for c in cut_list)
+        )
+    if method == "esary-proschan":
+        prod = 1.0
+        for cut in cut_list:
+            prod *= 1.0 - cut_probability(cut, probabilities)
+        return 1.0 - prod
+    raise AnalysisError(f"unknown method {method!r}")
+
+
+def _inclusion_exclusion(
+    cuts: list[frozenset[str]], probabilities: Mapping[str, float]
+) -> float:
+    """Exact union probability: sum over non-empty subsets of cuts."""
+    n = len(cuts)
+    total = 0.0
+    # Depth-first enumeration keeps the running union incrementally.
+    def recurse(start: int, union: frozenset[str], size: int) -> None:
+        nonlocal total
+        for i in range(start, n):
+            merged = union | cuts[i]
+            sign = 1.0 if (size + 1) % 2 == 1 else -1.0
+            total += sign * cut_probability(merged, probabilities)
+            recurse(i + 1, merged, size + 1)
+
+    recurse(0, frozenset(), 0)
+    return min(max(total, 0.0), 1.0)
+
+
+def _monte_carlo_union(
+    cuts: list[frozenset[str]],
+    probabilities: Mapping[str, float],
+    rounds: int,
+    seed: int,
+) -> float:
+    """Estimate the union probability by direct simulation."""
+    if rounds < 1:
+        raise AnalysisError(f"mc_rounds must be >= 1, got {rounds}")
+    events = sorted({e for cut in cuts for e in cut})
+    index = {e: i for i, e in enumerate(events)}
+    probs = np.array([probabilities.get(e) for e in events], dtype=object)
+    missing = [events[i] for i, p in enumerate(probs) if p is None]
+    if missing:
+        raise AnalysisError(f"no failure probability for {missing[0]!r}")
+    probs = probs.astype(float)
+    cut_indices = [np.array([index[e] for e in cut]) for cut in cuts]
+    rng = np.random.default_rng(seed)
+    hits = 0
+    batch = 8192
+    remaining = rounds
+    while remaining > 0:
+        block = min(batch, remaining)
+        remaining -= block
+        draws = rng.random((block, len(events))) < probs[None, :]
+        any_cut = np.zeros(block, dtype=bool)
+        for idx in cut_indices:
+            any_cut |= draws[:, idx].all(axis=1)
+        hits += int(any_cut.sum())
+    return hits / rounds
+
+
+def top_event_probability(
+    minimal_rgs: Sequence[frozenset[str]],
+    probabilities: Mapping[str, float],
+    method: str = "auto",
+    mc_rounds: int = 200_000,
+    seed: int = 0,
+) -> float:
+    """``Pr(T)`` from the minimal RG family (inclusion–exclusion, §4.1.3)."""
+    return union_probability(
+        minimal_rgs, probabilities, method=method, mc_rounds=mc_rounds, seed=seed
+    )
+
+
+def relative_importance(
+    cut: Iterable[str],
+    top_probability: float,
+    probabilities: Mapping[str, float],
+) -> float:
+    """``I_C = Pr(C) / Pr(T)`` — the ranking weight of one RG (§4.1.3)."""
+    if not 0.0 < top_probability <= 1.0:
+        raise AnalysisError(
+            f"top-event probability must be in (0,1], got {top_probability}"
+        )
+    return cut_probability(cut, probabilities) / top_probability
+
+
+def tree_probability(graph: FaultGraph, top: Optional[str] = None) -> float:
+    """Exact bottom-up ``Pr(T)`` for *tree-shaped* weighted graphs.
+
+    Requires every event below the top to feed exactly one gate; shared
+    events would make bottom-up products wrong, so they raise instead of
+    silently computing a biased value (use the cut-set route or
+    :func:`graph_probability_sampled` for DAGs).
+    """
+    root = graph.top if top is None else top
+    below = graph.descendants(root)
+    shared = [n for n in below if len(graph.parents(n)) > 1]
+    if shared:
+        raise AnalysisError(
+            f"graph is not a tree (shared events, e.g. {sorted(shared)[:3]}); "
+            f"bottom-up probabilities would be biased"
+        )
+    values: dict[str, float] = {}
+    for name in graph.topological_order():
+        if name != root and name not in below:
+            continue
+        event = graph.event(name)
+        if event.is_basic:
+            if event.probability is None:
+                raise AnalysisError(f"basic event {name!r} has no probability")
+            values[name] = event.probability
+            continue
+        kid_probs = [values[c] for c in graph.children(name)]
+        if event.gate is GateType.OR:
+            alive = 1.0
+            for p in kid_probs:
+                alive *= 1.0 - p
+            values[name] = 1.0 - alive
+        elif event.gate is GateType.AND:
+            prob = 1.0
+            for p in kid_probs:
+                prob *= p
+            values[name] = prob
+        else:  # K_OF_N: Poisson-binomial tail via dynamic programming
+            k = graph.threshold(name)
+            dist = np.zeros(len(kid_probs) + 1)
+            dist[0] = 1.0
+            for p in kid_probs:
+                dist[1:] = dist[1:] * (1 - p) + dist[:-1] * p
+                dist[0] *= 1 - p
+            values[name] = float(dist[k:].sum())
+    return values[root]
+
+
+def graph_probability_sampled(
+    graph: FaultGraph,
+    rounds: int = 200_000,
+    seed: int = 0,
+    batch_size: int = 8192,
+) -> float:
+    """Monte-Carlo ``Pr(T)`` directly on the (possibly shared-node) graph."""
+    from repro.core.compile import CompiledGraph  # local: avoid cycle
+
+    compiled = CompiledGraph(graph)
+    probs = graph.probabilities()
+    weights = [probs[n] for n in compiled.basic_names]
+    rng = np.random.default_rng(seed)
+    failures = 0
+    remaining = rounds
+    while remaining > 0:
+        block = min(batch_size, remaining)
+        remaining -= block
+        draws = compiled.sample_failures(block, weights, rng)
+        failures += int(compiled.evaluate_batch(draws).sum())
+    return failures / rounds
+
+
+def expected_error_minhash(m: int) -> float:
+    """Broder's expected MinHash estimation error, O(1/sqrt(m)) (§4.2.2)."""
+    if m < 1:
+        raise AnalysisError(f"signature size must be >= 1, got {m}")
+    return 1.0 / math.sqrt(m)

@@ -1,0 +1,111 @@
+"""Rendering helpers: fault graphs as Graphviz DOT, reports as Markdown.
+
+Auditing reports are easier to act on with a picture of the dependency
+structure; :func:`to_dot` emits plain Graphviz text (no external
+dependency — paste into any DOT viewer).  Gates are drawn as boxes
+labelled with their logic, basic events as ellipses, members of selected
+risk groups highlighted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.faultgraph import FaultGraph
+from repro.core.report import AuditReport
+from repro.errors import AnalysisError
+
+__all__ = ["to_dot", "report_markdown"]
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', r"\"")
+    return f'"{escaped}"'
+
+
+def to_dot(
+    graph: FaultGraph,
+    highlight: Optional[Iterable[str]] = None,
+    rankdir: str = "BT",
+) -> str:
+    """Render a fault graph as Graphviz DOT text.
+
+    Args:
+        graph: The graph to render.
+        highlight: Basic events to shade (e.g. one risk group).
+        rankdir: Layout direction; the default draws leaves at the
+            bottom and the top event on top, like the paper's Figure 4.
+    """
+    if rankdir not in ("BT", "TB", "LR", "RL"):
+        raise AnalysisError(f"invalid rankdir {rankdir!r}")
+    marked = set(highlight or ())
+    unknown = marked.difference(graph.events())
+    if unknown:
+        raise AnalysisError(f"unknown events to highlight: {sorted(unknown)}")
+    lines = [
+        f"digraph {_quote(graph.name or 'fault-graph')} {{",
+        f"  rankdir={rankdir};",
+        "  node [fontsize=10];",
+    ]
+    top = graph.top if graph.has_top else None
+    for name in graph.topological_order():
+        event = graph.event(name)
+        attrs = []
+        if event.is_basic:
+            attrs.append("shape=ellipse")
+            label = name
+            if event.probability is not None:
+                label += f"\\np={event.probability:g}"
+            attrs.append(f"label={_quote(label)}")
+            if name in marked:
+                attrs.append('style=filled fillcolor="#f4cccc"')
+        else:
+            gate = event.gate.value.upper()
+            if event.k is not None:
+                gate = f">={event.k}"
+            attrs.append("shape=box")
+            gate_label = name + "\\n[" + gate + "]"
+            attrs.append(f"label={_quote(gate_label)}")
+            if name == top:
+                attrs.append('style=filled fillcolor="#d9ead3"')
+        lines.append(f"  {_quote(name)} [{' '.join(attrs)}];")
+    for name in graph.topological_order():
+        for child in graph.children(name):
+            lines.append(f"  {_quote(child)} -> {_quote(name)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def report_markdown(report: AuditReport, top_rgs: int = 5) -> str:
+    """Render an auditing report as a Markdown document."""
+    lines = [f"# INDaaS auditing report: {report.title}", ""]
+    if report.client:
+        lines.append(f"*Client:* {report.client}  ")
+    lines.append(f"*Ranking method:* {report.ranking_method.value}")
+    lines.append("")
+    lines.append("| # | deployment | score | Pr[failure] | unexpected RGs |")
+    lines.append("|---|---|---|---|---|")
+    for position, audit in enumerate(report.ranked_deployments(), start=1):
+        prob = (
+            f"{audit.failure_probability:.4g}"
+            if audit.failure_probability is not None
+            else "—"
+        )
+        lines.append(
+            f"| {position} | {audit.deployment} | {audit.score:.4g} "
+            f"| {prob} | {len(audit.unexpected_risk_groups)} |"
+        )
+    lines.append("")
+    for audit in report.ranked_deployments():
+        lines.append(f"## {audit.deployment}")
+        lines.append("")
+        for entry in audit.top_risk_groups(top_rgs):
+            members = ", ".join(sorted(entry.events))
+            mark = (
+                " **(unexpected)**"
+                if entry.size < audit.redundancy
+                else ""
+            )
+            lines.append(f"- #{entry.rank} `{{{members}}}`{mark}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Cryptographic substrate for private independence auditing."""
+
+from repro.crypto.commutative import CommutativeKey, SharedGroup, hash_to_group
+from repro.crypto.hashing import HashFamily, element_digest
+from repro.crypto.paillier import (
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_keypair,
+)
+from repro.crypto.permutation import (
+    Permuter,
+    invert_permutation,
+    random_permutation,
+)
+from repro.crypto.primes import (
+    generate_prime,
+    generate_safe_prime,
+    is_probable_prime,
+    safe_prime,
+)
+
+__all__ = [
+    "CommutativeKey",
+    "HashFamily",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "Permuter",
+    "SharedGroup",
+    "element_digest",
+    "generate_keypair",
+    "generate_prime",
+    "generate_safe_prime",
+    "hash_to_group",
+    "invert_permutation",
+    "is_probable_prime",
+    "random_permutation",
+    "safe_prime",
+]

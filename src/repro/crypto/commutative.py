@@ -1,0 +1,123 @@
+"""Commutative encryption for P-SOP (§4.2.2, §6.1.2).
+
+The paper implements P-SOP with "commutative RSA" in the style of
+Shamir–Rivest–Adleman mental poker [SRA79] / Pohlig–Hellman [PH78]: an
+exponentiation cipher over a shared safe prime ``p``,
+
+    E_k(m) = m^k  mod p,       D_k(c) = c^(k^-1 mod p-1)  mod p,
+
+which commutes because ``(m^a)^b = (m^b)^a``.  All parties agree on the
+modulus; each keeps its exponent secret.  Messages are first hashed into
+the quadratic-residue subgroup (order ``q = (p-1)/2``, prime), which
+avoids small-subgroup leakage and makes every key exponent coprime to the
+subgroup order as long as it is odd and not ``q``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.primes import is_probable_prime, safe_prime
+from repro.errors import CryptoError
+
+__all__ = ["SharedGroup", "CommutativeKey", "hash_to_group"]
+
+
+@dataclass(frozen=True)
+class SharedGroup:
+    """The public group every P-SOP participant agrees on."""
+
+    prime: int
+
+    def __post_init__(self) -> None:
+        if not is_probable_prime(self.prime):
+            raise CryptoError("group modulus is not prime")
+        if not is_probable_prime((self.prime - 1) // 2):
+            raise CryptoError("group modulus is not a safe prime")
+
+    @classmethod
+    def with_bits(cls, bits: int = 1024) -> "SharedGroup":
+        """Standard group of the requested size (published safe prime)."""
+        return cls(prime=safe_prime(bits))
+
+    @property
+    def subgroup_order(self) -> int:
+        """Order of the quadratic-residue subgroup: q = (p-1)/2."""
+        return (self.prime - 1) // 2
+
+    @property
+    def element_bytes(self) -> int:
+        """Wire size of one group element (bandwidth accounting)."""
+        return (self.prime.bit_length() + 7) // 8
+
+
+def hash_to_group(element: str, group: SharedGroup) -> int:
+    """Deterministically map an identifier into the QR subgroup.
+
+    SHA-256 output (extended by counter blocks for large moduli) is
+    reduced mod p and squared; squaring lands in the quadratic-residue
+    subgroup where the cipher operates.
+    """
+    if not element:
+        raise CryptoError("cannot hash an empty element")
+    data = element.encode("utf-8")
+    blocks = []
+    counter = 0
+    need = group.element_bytes + 16
+    while sum(len(b) for b in blocks) < need:
+        blocks.append(
+            hashlib.sha256(counter.to_bytes(4, "big") + data).digest()
+        )
+        counter += 1
+    value = int.from_bytes(b"".join(blocks), "big") % group.prime
+    if value in (0, 1, group.prime - 1):
+        # Degenerate fixed points of exponentiation; nudge deterministically.
+        value += 2
+    return pow(value, 2, group.prime)
+
+
+class CommutativeKey:
+    """One party's secret exponent over a shared group.
+
+    >>> group = SharedGroup.with_bits(768)
+    >>> a, b = CommutativeKey(group, seed=1), CommutativeKey(group, seed=2)
+    >>> m = hash_to_group("libc6@2.19", group)
+    >>> a.encrypt(b.encrypt(m)) == b.encrypt(a.encrypt(m))
+    True
+    >>> a.decrypt(a.encrypt(m)) == m
+    True
+    """
+
+    def __init__(self, group: SharedGroup, seed: Optional[int] = None) -> None:
+        self.group = group
+        rng = random.Random(seed)
+        q = group.subgroup_order
+        while True:
+            exponent = rng.randrange(3, q - 1)
+            if exponent % 2 == 0:
+                exponent += 1
+            # Exponent must be invertible mod q (q prime => any e != q works,
+            # but guard the generic way for clarity).
+            if exponent % q != 0:
+                self._exponent = exponent
+                self._inverse = pow(exponent, -1, q)
+                break
+
+    def encrypt(self, value: int) -> int:
+        """E(m) = m^e mod p; ``value`` must be a group element."""
+        if not 1 <= value < self.group.prime:
+            raise CryptoError("value outside the group")
+        return pow(value, self._exponent, self.group.prime)
+
+    def decrypt(self, value: int) -> int:
+        """Inverse of :meth:`encrypt` on the QR subgroup."""
+        if not 1 <= value < self.group.prime:
+            raise CryptoError("value outside the group")
+        return pow(value, self._inverse, self.group.prime)
+
+    def encrypt_many(self, values: list[int]) -> list[int]:
+        p, e = self.group.prime, self._exponent
+        return [pow(v, e, p) for v in values]

@@ -1,0 +1,62 @@
+"""Deterministic hash families (MinHash, element digests).
+
+MinHash needs *m* independent hash functions mapping component identifiers
+to comparable integers; all parties must use the same family (§4.2.2).
+We derive each member from SHA-256 with a family seed and member index,
+giving 64-bit outputs with no inter-party coordination beyond the seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Sequence
+
+from repro.errors import CryptoError
+
+__all__ = ["HashFamily", "element_digest"]
+
+_MAX64 = (1 << 64) - 1
+
+
+class HashFamily:
+    """A family of ``size`` deterministic 64-bit hash functions.
+
+    >>> family = HashFamily(size=4, seed=42)
+    >>> family(0, "libc6") == family(0, "libc6")
+    True
+    >>> family(0, "libc6") != family(1, "libc6")
+    True
+    """
+
+    def __init__(self, size: int, seed: int = 0) -> None:
+        if size < 1:
+            raise CryptoError(f"hash family size must be >= 1, got {size}")
+        self.size = size
+        self.seed = seed
+
+    def __call__(self, index: int, element: str) -> int:
+        if not 0 <= index < self.size:
+            raise CryptoError(
+                f"hash index {index} outside family of size {self.size}"
+            )
+        payload = f"{self.seed}:{index}:{element}".encode("utf-8")
+        return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+    def functions(self) -> list[Callable[[str], int]]:
+        """The family as a list of single-argument callables."""
+        return [
+            (lambda e, i=i: self(i, e)) for i in range(self.size)
+        ]
+
+    def min_element(self, index: int, elements: Sequence[str]) -> str:
+        """The element of a set minimising hash ``index`` (h_min, §4.2.2)."""
+        if not elements:
+            raise CryptoError("cannot take h_min of an empty set")
+        return min(elements, key=lambda e: (self(index, e), e))
+
+
+def element_digest(element: str, length: int = 16) -> bytes:
+    """Stable digest of an identifier (P-SOP pre-hashing step)."""
+    if not 1 <= length <= 32:
+        raise CryptoError(f"digest length must be 1..32, got {length}")
+    return hashlib.sha256(element.encode("utf-8")).digest()[:length]

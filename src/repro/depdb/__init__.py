@@ -1,0 +1,22 @@
+"""Dependency data layer: Table-1 records, XML codec, and the DepDB store."""
+
+from repro.depdb.database import DepDB
+from repro.depdb.records import (
+    DependencyRecord,
+    HardwareDependency,
+    NetworkDependency,
+    SoftwareDependency,
+)
+from repro.depdb.xmlformat import dump_record, dumps, loads, parse_line
+
+__all__ = [
+    "DepDB",
+    "DependencyRecord",
+    "HardwareDependency",
+    "NetworkDependency",
+    "SoftwareDependency",
+    "dump_record",
+    "dumps",
+    "loads",
+    "parse_line",
+]

@@ -1,0 +1,203 @@
+"""DepDB — the dependency information database (§3).
+
+Dependency acquisition modules store their adapted records here; the
+auditing agent later queries it while building dependency graphs
+(§4.1.1 Steps 2–6).  The store is in-memory with secondary indices for the
+exact query shapes the builder needs, plus text/JSON persistence so
+acquired data can be shipped from data sources to the agent.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Iterable, Optional
+
+from repro.depdb.records import (
+    DependencyRecord,
+    HardwareDependency,
+    NetworkDependency,
+    SoftwareDependency,
+)
+from repro.depdb import xmlformat
+from repro.errors import DependencyDataError
+
+__all__ = ["DepDB"]
+
+
+class DepDB:
+    """Indexed store of network / hardware / software dependency records."""
+
+    def __init__(self, records: Optional[Iterable[DependencyRecord]] = None):
+        self._network: list[NetworkDependency] = []
+        self._hardware: list[HardwareDependency] = []
+        self._software: list[SoftwareDependency] = []
+        self._net_by_src: dict[str, list[NetworkDependency]] = defaultdict(list)
+        self._hw_by_host: dict[str, list[HardwareDependency]] = defaultdict(list)
+        self._sw_by_host: dict[str, list[SoftwareDependency]] = defaultdict(list)
+        self._sw_by_pgm: dict[str, list[SoftwareDependency]] = defaultdict(list)
+        self._seen: set[DependencyRecord] = set()
+        if records:
+            self.add_all(records)
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+
+    def add(self, record: DependencyRecord) -> bool:
+        """Insert one record; returns False for exact duplicates."""
+        if record in self._seen:
+            return False
+        if isinstance(record, NetworkDependency):
+            self._network.append(record)
+            self._net_by_src[record.src].append(record)
+        elif isinstance(record, HardwareDependency):
+            self._hardware.append(record)
+            self._hw_by_host[record.hw].append(record)
+        elif isinstance(record, SoftwareDependency):
+            self._software.append(record)
+            self._sw_by_host[record.hw].append(record)
+            self._sw_by_pgm[record.pgm].append(record)
+        else:
+            raise DependencyDataError(
+                f"unsupported record type {type(record).__name__}"
+            )
+        self._seen.add(record)
+        return True
+
+    def add_all(self, records: Iterable[DependencyRecord]) -> int:
+        """Insert many records; returns how many were new."""
+        return sum(1 for r in records if self.add(r))
+
+    def merge(self, other: "DepDB") -> int:
+        """Absorb another DepDB (e.g. one per data source)."""
+        return self.add_all(other.records())
+
+    # ------------------------------------------------------------------ #
+    # Queries used by the dependency-graph builder
+    # ------------------------------------------------------------------ #
+
+    def network_paths(
+        self, src: str, dst: Optional[str] = None
+    ) -> list[NetworkDependency]:
+        """All redundant routes out of ``src`` (optionally towards ``dst``)."""
+        paths = self._net_by_src.get(src, [])
+        if dst is None:
+            return list(paths)
+        return [p for p in paths if p.dst == dst]
+
+    def network_destinations(self, src: str) -> list[str]:
+        """Distinct destinations reachable from ``src``, insertion order."""
+        seen: dict[str, None] = {}
+        for record in self._net_by_src.get(src, []):
+            seen.setdefault(record.dst, None)
+        return list(seen)
+
+    def hardware_of(self, host: str) -> list[HardwareDependency]:
+        return list(self._hw_by_host.get(host, []))
+
+    def software_on(
+        self, host: str, programs: Optional[Iterable[str]] = None
+    ) -> list[SoftwareDependency]:
+        """Software records on ``host``.
+
+        The current prototype requires the auditing client to list the
+        software components of interest (§3); pass them as ``programs``
+        to filter, or omit to return everything acquired on that host.
+        """
+        records = self._sw_by_host.get(host, [])
+        if programs is None:
+            return list(records)
+        wanted = set(programs)
+        return [r for r in records if r.pgm in wanted]
+
+    def software_named(self, pgm: str) -> list[SoftwareDependency]:
+        return list(self._sw_by_pgm.get(pgm, []))
+
+    def hosts(self) -> list[str]:
+        """Every host that has at least one record of any type."""
+        seen: dict[str, None] = {}
+        for name in (
+            list(self._net_by_src)
+            + list(self._hw_by_host)
+            + list(self._sw_by_host)
+        ):
+            seen.setdefault(name, None)
+        return list(seen)
+
+    def records(self) -> list[DependencyRecord]:
+        return [*self._network, *self._hardware, *self._software]
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "network": len(self._network),
+            "hardware": len(self._hardware),
+            "software": len(self._software),
+        }
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        c = self.counts()
+        return (
+            f"DepDB(network={c['network']}, hardware={c['hardware']}, "
+            f"software={c['software']})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def dumps(self) -> str:
+        """Serialise all records in the Table-1 line format."""
+        return xmlformat.dumps(self.records())
+
+    @classmethod
+    def loads(cls, text: str) -> "DepDB":
+        return cls(xmlformat.loads(text))
+
+    def to_json(self) -> str:
+        """JSON persistence (stable across versions, unlike repr)."""
+        payload = {
+            "network": [
+                {"src": r.src, "dst": r.dst, "route": list(r.route)}
+                for r in self._network
+            ],
+            "hardware": [
+                {"hw": r.hw, "type": r.type, "dep": r.dep}
+                for r in self._hardware
+            ],
+            "software": [
+                {"pgm": r.pgm, "hw": r.hw, "dep": list(r.dep)}
+                for r in self._software
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DepDB":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DependencyDataError(f"invalid DepDB JSON: {exc}") from exc
+        db = cls()
+        for item in payload.get("network", []):
+            db.add(
+                NetworkDependency(
+                    src=item["src"], dst=item["dst"], route=tuple(item["route"])
+                )
+            )
+        for item in payload.get("hardware", []):
+            db.add(
+                HardwareDependency(
+                    hw=item["hw"], type=item["type"], dep=item["dep"]
+                )
+            )
+        for item in payload.get("software", []):
+            db.add(
+                SoftwareDependency(
+                    pgm=item["pgm"], hw=item["hw"], dep=tuple(item["dep"])
+                )
+            )
+        return db

@@ -1,0 +1,111 @@
+"""Uniform dependency records (§3, Table 1).
+
+INDaaS normalises heterogeneous dependency data into three record types,
+matching the three most common causes of correlated failures:
+
+=========  ==========================================  =====================
+Type       Expression                                  Meaning
+=========  ==========================================  =====================
+Network    ``<src="S" dst="D" route="x,y,z"/>``        a route S->D via x,y,z
+Hardware   ``<hw="H" type="T" dep="x"/>``              component model x of
+                                                       type T inside host H
+Software   ``<pgm="S" hw="H" dep="x,y,z"/>``           program S on host H
+                                                       using packages x,y,z
+=========  ==========================================  =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import DependencyDataError
+
+__all__ = [
+    "NetworkDependency",
+    "HardwareDependency",
+    "SoftwareDependency",
+    "DependencyRecord",
+]
+
+
+def _require(value: str, field: str, record: str) -> str:
+    if not isinstance(value, str) or not value.strip():
+        raise DependencyDataError(
+            f"{record} record requires a non-empty {field!r}"
+        )
+    return value.strip()
+
+
+@dataclass(frozen=True)
+class NetworkDependency:
+    """One route from ``src`` to ``dst`` through intermediate devices.
+
+    A server with several records for the same (src, dst) pair has that
+    many *redundant* paths; the dependency-graph builder ANDs them
+    (§4.1.1, Step 5).
+    """
+
+    src: str
+    dst: str
+    route: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", _require(self.src, "src", "network"))
+        object.__setattr__(self, "dst", _require(self.dst, "dst", "network"))
+        hops = tuple(h.strip() for h in self.route)
+        if not hops or any(not h for h in hops):
+            raise DependencyDataError(
+                f"network record {self.src}->{self.dst} has an empty route hop"
+            )
+        object.__setattr__(self, "route", hops)
+
+    @property
+    def devices(self) -> frozenset[str]:
+        """Network components this path depends on."""
+        return frozenset(self.route)
+
+
+@dataclass(frozen=True)
+class HardwareDependency:
+    """A physical component of a host (CPU, disk, RAM, NIC, ...).
+
+    ``dep`` is the component's model identifier; two hosts sharing the
+    same model number share a hardware common-mode failure (e.g. a buggy
+    disk firmware batch).
+    """
+
+    hw: str
+    type: str
+    dep: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "hw", _require(self.hw, "hw", "hardware"))
+        object.__setattr__(self, "type", _require(self.type, "type", "hardware"))
+        object.__setattr__(self, "dep", _require(self.dep, "dep", "hardware"))
+
+
+@dataclass(frozen=True)
+class SoftwareDependency:
+    """A software component and the packages it transitively uses."""
+
+    pgm: str
+    hw: str
+    dep: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pgm", _require(self.pgm, "pgm", "software"))
+        object.__setattr__(self, "hw", _require(self.hw, "hw", "software"))
+        pkgs = tuple(p.strip() for p in self.dep)
+        if any(not p for p in pkgs):
+            raise DependencyDataError(
+                f"software record {self.pgm} has an empty package name"
+            )
+        object.__setattr__(self, "dep", pkgs)
+
+    @property
+    def packages(self) -> frozenset[str]:
+        return frozenset(self.dep)
+
+
+DependencyRecord = Union[NetworkDependency, HardwareDependency, SoftwareDependency]

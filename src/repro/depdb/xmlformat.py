@@ -1,0 +1,114 @@
+"""Serialisation of dependency records in the paper's XML-ish format.
+
+Table 1 / Figure 3 of the paper write records like::
+
+    <src="S1" dst="Internet" route="ToR1,Core1"/>
+    <hw="S1" type="CPU" dep="S1-Intel(R)X5550@2.6GHz"/>
+    <pgm="Riak1" hw="S1" dep="libc6,libsvn1">
+
+These lines are not well-formed XML (no element name, sometimes no closing
+slash), so this codec parses them with a tolerant attribute scanner rather
+than an XML library.  ``dumps`` always emits the canonical self-closing
+form shown in Table 1.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+from repro.depdb.records import (
+    DependencyRecord,
+    HardwareDependency,
+    NetworkDependency,
+    SoftwareDependency,
+)
+from repro.errors import DependencyDataError
+
+__all__ = ["dump_record", "dumps", "parse_line", "loads"]
+
+_ATTR_RE = re.compile(r'([A-Za-z_][\w-]*)\s*=\s*"([^"]*)"')
+
+
+def dump_record(record: DependencyRecord) -> str:
+    """Render one record as a Table-1 line."""
+    if isinstance(record, NetworkDependency):
+        route = ",".join(record.route)
+        return f'<src="{record.src}" dst="{record.dst}" route="{route}"/>'
+    if isinstance(record, HardwareDependency):
+        return f'<hw="{record.hw}" type="{record.type}" dep="{record.dep}"/>'
+    if isinstance(record, SoftwareDependency):
+        dep = ",".join(record.dep)
+        return f'<pgm="{record.pgm}" hw="{record.hw}" dep="{dep}"/>'
+    raise DependencyDataError(f"unknown record type: {type(record).__name__}")
+
+
+def dumps(records: Iterable[DependencyRecord]) -> str:
+    """Render many records, one line each (Figure 3 style)."""
+    return "\n".join(dump_record(r) for r in records)
+
+
+def parse_line(line: str) -> DependencyRecord:
+    """Parse a single Table-1 line into a typed record.
+
+    The record type is inferred from its attributes: ``src`` marks a
+    network record, ``pgm`` a software record, and a bare ``hw``+``type``
+    a hardware record.
+    """
+    text = line.strip()
+    if not (text.startswith("<") and text.endswith(">")):
+        raise DependencyDataError(f"not a dependency line: {line!r}")
+    attrs = dict(_ATTR_RE.findall(text))
+    if not attrs:
+        raise DependencyDataError(f"no attributes found in {line!r}")
+    if "src" in attrs:
+        _expect(attrs, ("src", "dst", "route"), line)
+        return NetworkDependency(
+            src=attrs["src"],
+            dst=attrs["dst"],
+            route=tuple(_split_list(attrs["route"], line)),
+        )
+    if "pgm" in attrs:
+        _expect(attrs, ("pgm", "hw", "dep"), line)
+        return SoftwareDependency(
+            pgm=attrs["pgm"],
+            hw=attrs["hw"],
+            dep=tuple(_split_list(attrs["dep"], line)),
+        )
+    if "hw" in attrs:
+        _expect(attrs, ("hw", "type", "dep"), line)
+        return HardwareDependency(
+            hw=attrs["hw"], type=attrs["type"], dep=attrs["dep"]
+        )
+    raise DependencyDataError(f"cannot infer record type of {line!r}")
+
+
+def loads(text: str) -> list[DependencyRecord]:
+    """Parse a blob of dependency lines; blank lines and ``#``/``---``
+    separator lines (as printed in Figure 3) are ignored."""
+    records = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#") or set(line) <= {"-"}:
+            continue
+        try:
+            records.append(parse_line(line))
+        except DependencyDataError as exc:
+            raise DependencyDataError(f"line {number}: {exc}") from exc
+    return records
+
+
+def _split_list(value: str, line: str) -> Sequence[str]:
+    items = [item.strip() for item in value.split(",") if item.strip()]
+    if not items:
+        raise DependencyDataError(f"empty list attribute in {line!r}")
+    return items
+
+
+def _expect(attrs: dict, fields: tuple[str, ...], line: str) -> None:
+    missing = [f for f in fields if f not in attrs]
+    if missing:
+        raise DependencyDataError(f"{line!r} lacks attributes {missing}")
+    extra = [f for f in attrs if f not in fields]
+    if extra:
+        raise DependencyDataError(f"{line!r} has unexpected attributes {extra}")

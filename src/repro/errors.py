@@ -1,0 +1,52 @@
+"""Exception hierarchy for the INDaaS reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`IndaasError` so that
+callers can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class IndaasError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FaultGraphError(IndaasError):
+    """Structural problem in a fault graph (cycle, unknown node, bad gate)."""
+
+
+class SpecificationError(IndaasError):
+    """An audit specification is malformed or references unknown entities."""
+
+
+class DependencyDataError(IndaasError):
+    """Dependency records are malformed or cannot be parsed."""
+
+
+class AcquisitionError(IndaasError):
+    """A dependency acquisition module failed to collect data."""
+
+
+class TopologyError(IndaasError):
+    """A topology is malformed or a requested element does not exist."""
+
+
+class RoutingError(TopologyError):
+    """No route exists between the requested endpoints."""
+
+
+class PlacementError(IndaasError):
+    """The VM scheduler could not satisfy a placement request."""
+
+
+class CryptoError(IndaasError):
+    """A cryptographic primitive was misused or failed."""
+
+
+class ProtocolError(IndaasError):
+    """A multi-party protocol (P-SOP, KS, SMPC) was violated."""
+
+
+class AnalysisError(IndaasError):
+    """An auditing analysis cannot be carried out on the given input."""

@@ -1,0 +1,172 @@
+"""Failure probability models (§5.1).
+
+INDaaS's weighted analyses need per-component failure probabilities.  The
+paper points at two realistic sources:
+
+* **Gill et al.** [SIGCOMM'11] measured annual failure probabilities of
+  data-center network devices (ToRs are reliable, load balancers are
+  not);
+* **CVSS** scores approximate software-package failure/compromise
+  likelihood.
+
+Both are packaged here as *weighers* — callables with the
+``(kind, identifier) -> probability | None`` signature the dependency
+graph builder accepts — plus combinators for composing them.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.core.builder import Weigher
+from repro.core.events import validate_probability
+from repro.errors import AnalysisError
+
+__all__ = [
+    "GILL_DEVICE_FAILURE_PROBABILITIES",
+    "DEFAULT_HOST_FAILURE_PROBABILITY",
+    "gill_network_weigher",
+    "cvss_software_weigher",
+    "uniform_weigher",
+    "mapping_weigher",
+    "combine_weighers",
+    "cvss_to_probability",
+]
+
+#: Annual device failure probabilities in the spirit of Gill et al.'s
+#: measurement study (Table: ToR ~5%, aggregation ~10%, core ~2.5%,
+#: load balancers ~20%).  Keys match against device-name prefixes.
+GILL_DEVICE_FAILURE_PROBABILITIES: dict[str, float] = {
+    "tor": 0.052,
+    "e": 0.052,          # ToR naming in the Fig-6a topology (e1..e33)
+    "switch": 0.052,
+    "m": 0.052,          # patch switches
+    "agg": 0.103,
+    "b": 0.103,          # aggregation naming in the Fig-6a topology
+    "core": 0.025,
+    "c": 0.025,
+    "lb": 0.204,
+    "router": 0.025,
+}
+
+#: Whole-server annual failure probability (crash, PSU, human error).
+DEFAULT_HOST_FAILURE_PROBABILITY = 0.08
+
+
+def gill_network_weigher(
+    overrides: Optional[Mapping[str, float]] = None,
+) -> Weigher:
+    """Weigher assigning Gill-style probabilities to network devices.
+
+    Device identifiers are matched by longest-prefix against the table
+    (so ``core-3-1`` hits ``core``, ``b1`` hits ``b``).  Non-device kinds
+    return ``None`` so other weighers can fill them in.
+    """
+    table = dict(GILL_DEVICE_FAILURE_PROBABILITIES)
+    if overrides:
+        for key, value in overrides.items():
+            table[key] = validate_probability(value, what=f"override {key!r}")
+    prefixes = sorted(table, key=len, reverse=True)
+
+    def weigh(kind: str, identifier: str) -> Optional[float]:
+        if kind != "device":
+            return None
+        lowered = identifier.lower()
+        for prefix in prefixes:
+            if lowered.startswith(prefix):
+                return table[prefix]
+        return None
+
+    return weigh
+
+
+def cvss_to_probability(score: float, period_factor: float = 0.04) -> float:
+    """Map a CVSS base score (0..10) to a failure probability.
+
+    The mapping is deliberately simple — probability proportional to the
+    score, scaled so a worst-case 10.0 package fails with
+    ``10 * period_factor`` (default 0.4/year).  The *relative* ordering
+    of packages is what ranking needs; absolute calibration is
+    deployment-specific (§5.1).
+    """
+    if not 0.0 <= score <= 10.0:
+        raise AnalysisError(f"CVSS score outside 0..10: {score}")
+    return validate_probability(score * period_factor)
+
+
+def cvss_software_weigher(
+    scores: Mapping[str, float],
+    default_score: Optional[float] = 2.0,
+    period_factor: float = 0.04,
+) -> Weigher:
+    """Weigher turning per-package CVSS scores into probabilities.
+
+    Args:
+        scores: ``{package identifier: CVSS base score}``.
+        default_score: Score for unscored packages (None -> unweighted).
+    """
+    for package, score in scores.items():
+        if not 0.0 <= score <= 10.0:
+            raise AnalysisError(
+                f"CVSS score outside 0..10 for {package!r}: {score}"
+            )
+
+    def weigh(kind: str, identifier: str) -> Optional[float]:
+        if kind != "pkg":
+            return None
+        score = scores.get(identifier, default_score)
+        if score is None:
+            return None
+        return cvss_to_probability(score, period_factor)
+
+    return weigh
+
+
+def uniform_weigher(probability: float, kinds: Sequence[str] = ()) -> Weigher:
+    """Every (matching) leaf fails with the same probability.
+
+    This is the §6.2.1 assumption ("failure probability of all network
+    devices is 0.1").  With ``kinds`` empty, all leaf kinds match.
+    """
+    p = validate_probability(probability)
+    wanted = set(kinds)
+
+    def weigh(kind: str, identifier: str) -> Optional[float]:
+        if wanted and kind not in wanted:
+            return None
+        return p
+
+    return weigh
+
+
+def mapping_weigher(table: Mapping[tuple[str, str], float]) -> Weigher:
+    """Exact-match weigher: ``{(kind, identifier): probability}``."""
+    validated = {
+        key: validate_probability(value, what=f"probability of {key}")
+        for key, value in table.items()
+    }
+
+    def weigh(kind: str, identifier: str) -> Optional[float]:
+        return validated.get((kind, identifier))
+
+    return weigh
+
+
+def combine_weighers(*weighers: Weigher, default: Optional[float] = None) -> Weigher:
+    """First-match-wins composition of weighers.
+
+    Args:
+        default: Probability for leaves no weigher claims (None leaves
+            them unweighted, which restricts audits to size ranking).
+    """
+    if default is not None:
+        default = validate_probability(default, what="default probability")
+
+    def weigh(kind: str, identifier: str) -> Optional[float]:
+        for weigher in weighers:
+            value = weigher(kind, identifier)
+            if value is not None:
+                return value
+        return default
+
+    return weigh

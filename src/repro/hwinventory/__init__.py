@@ -1,0 +1,18 @@
+"""Hardware substrate: component catalogue and inventory generation."""
+
+from repro.hwinventory.generator import HardwareInventory, generate_inventory
+from repro.hwinventory.models import (
+    CATALOGUE,
+    ComponentModel,
+    component_types,
+    models_of_type,
+)
+
+__all__ = [
+    "CATALOGUE",
+    "ComponentModel",
+    "HardwareInventory",
+    "component_types",
+    "generate_inventory",
+    "models_of_type",
+]

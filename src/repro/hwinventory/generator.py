@@ -1,0 +1,106 @@
+"""Synthetic hardware inventory generation — the lshw sweep substitute.
+
+Generates per-server component listings with *procurement batches*:
+servers bought together share model numbers, so the generated fleet
+exhibits exactly the common-mode hardware structure audits must find.
+``batch_size`` controls how correlated the fleet is: 1 gives every server
+unique models (fully independent), a large value gives one fleet-wide
+batch (maximally correlated).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DependencyDataError
+from repro.hwinventory.models import CATALOGUE, component_types, models_of_type
+
+__all__ = ["HardwareInventory", "generate_inventory"]
+
+
+class HardwareInventory:
+    """Per-server component listings plus failure-rate lookup."""
+
+    def __init__(self, listings: dict[str, tuple[tuple[str, str], ...]]):
+        if not listings:
+            raise DependencyDataError("inventory has no servers")
+        self._listings = listings
+        self._rates = {m.model: m.annual_failure_rate for m in CATALOGUE}
+
+    def servers(self) -> list[str]:
+        return list(self._listings)
+
+    def components(self, server: str) -> tuple[tuple[str, str], ...]:
+        try:
+            return self._listings[server]
+        except KeyError:
+            raise DependencyDataError(f"unknown server {server!r}") from None
+
+    def as_mapping(self) -> dict[str, tuple[tuple[str, str], ...]]:
+        """The shape :class:`HardwareInventoryCollector` consumes."""
+        return dict(self._listings)
+
+    def failure_rate(self, model: str) -> Optional[float]:
+        """Annual failure rate when the model is catalogued, else None."""
+        base_model = model.split("#", 1)[0]
+        return self._rates.get(base_model)
+
+    def shared_models(self) -> dict[str, list[str]]:
+        """``{model: [servers...]}`` for models on 2+ servers."""
+        by_model: dict[str, list[str]] = {}
+        for server, components in self._listings.items():
+            for _type, model in components:
+                by_model.setdefault(model, []).append(server)
+        return {m: s for m, s in by_model.items() if len(s) > 1}
+
+
+def generate_inventory(
+    servers: Sequence[str],
+    batch_size: int = 8,
+    types: Optional[Sequence[str]] = None,
+    unique_serial_types: Sequence[str] = (),
+    seed: Optional[int] = 0,
+) -> HardwareInventory:
+    """Generate a fleet inventory with procurement-batch sharing.
+
+    Args:
+        servers: Server names to provision.
+        batch_size: Servers per procurement batch; servers in the same
+            batch share one model per component type.
+        types: Component types to install (default: the full catalogue).
+        unique_serial_types: Types whose model string gets a per-server
+            serial suffix (``model#serial``) — physically distinct parts
+            that never fail together, like the Figure-3 example where
+            model ids embed the server name.
+        seed: RNG seed for batch model choices.
+    """
+    if batch_size < 1:
+        raise DependencyDataError(f"batch_size must be >= 1, got {batch_size}")
+    server_list = list(servers)
+    if not server_list:
+        raise DependencyDataError("no servers given")
+    wanted_types = list(types) if types is not None else component_types()
+    rng = np.random.default_rng(seed)
+
+    listings: dict[str, tuple[tuple[str, str], ...]] = {}
+    n_batches = (len(server_list) + batch_size - 1) // batch_size
+    batch_models: list[dict[str, str]] = []
+    for _ in range(n_batches):
+        chosen: dict[str, str] = {}
+        for ctype in wanted_types:
+            models = models_of_type(ctype)
+            chosen[ctype] = models[int(rng.integers(0, len(models)))].model
+        batch_models.append(chosen)
+
+    for index, server in enumerate(server_list):
+        batch = batch_models[index // batch_size]
+        components = []
+        for ctype in wanted_types:
+            model = batch[ctype]
+            if ctype in unique_serial_types:
+                model = f"{model}#{server}"
+            components.append((ctype, model))
+        listings[server] = tuple(components)
+    return HardwareInventory(listings)

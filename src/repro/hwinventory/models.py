@@ -1,0 +1,70 @@
+"""Hardware component catalogue.
+
+A small, realistic catalogue of server components by type.  Model
+identifiers are what the ``dep`` field of a hardware record carries;
+servers provisioned from the same procurement batch share model numbers,
+which is the hardware common-mode failure channel (§3, §6.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DependencyDataError
+
+__all__ = ["ComponentModel", "CATALOGUE", "models_of_type", "component_types"]
+
+
+@dataclass(frozen=True)
+class ComponentModel:
+    """One purchasable hardware component model."""
+
+    type: str
+    model: str
+    annual_failure_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.annual_failure_rate <= 1.0:
+            raise DependencyDataError(
+                f"failure rate of {self.model!r} outside [0,1]"
+            )
+
+
+#: Component models by type; failure rates loosely follow published
+#: hardware reliability studies (disks worst, RAM best).
+CATALOGUE: tuple[ComponentModel, ...] = (
+    ComponentModel("CPU", "Intel-X5550", 0.02),
+    ComponentModel("CPU", "Intel-E5620", 0.02),
+    ComponentModel("CPU", "Intel-E5-2650", 0.015),
+    ComponentModel("CPU", "AMD-6174", 0.025),
+    ComponentModel("Disk", "SED900", 0.05),
+    ComponentModel("Disk", "WD2003", 0.04),
+    ComponentModel("Disk", "ST1000", 0.045),
+    ComponentModel("Disk", "HGST-7K4000", 0.03),
+    ComponentModel("NIC", "Intel-X520", 0.01),
+    ComponentModel("NIC", "I350", 0.01),
+    ComponentModel("NIC", "BCM5720", 0.012),
+    ComponentModel("RAM", "DDR3-1333-8G", 0.008),
+    ComponentModel("RAM", "DDR3-1600-16G", 0.008),
+    ComponentModel("RAM", "DDR4-2133-16G", 0.006),
+    ComponentModel("RAID", "PERC-H710", 0.02),
+    ComponentModel("PSU", "DPS-750", 0.03),
+    ComponentModel("PSU", "HP-460W", 0.028),
+)
+
+
+def component_types() -> list[str]:
+    """Distinct component types in the catalogue, in catalogue order."""
+    seen: dict[str, None] = {}
+    for model in CATALOGUE:
+        seen.setdefault(model.type, None)
+    return list(seen)
+
+
+def models_of_type(component_type: str) -> list[ComponentModel]:
+    models = [m for m in CATALOGUE if m.type == component_type]
+    if not models:
+        raise DependencyDataError(
+            f"no models of type {component_type!r} in the catalogue"
+        )
+    return models

@@ -1,0 +1,206 @@
+"""Signed audit trails for PIA — "trust but leave an audit trail" (§5.2).
+
+A dishonest provider could under-declare its component-set to look more
+independent.  The paper's pragmatic countermeasure: providers digitally
+sign the data they fed into each PIA run, and an independent authority
+can later "meta-audit" those records; persistent cheaters eventually get
+caught.
+
+This module implements that mechanism:
+
+* each provider commits to its input with an HMAC-signed, hash-chained
+  :class:`TrailEntry` (commitment = salted digest of the sorted
+  component-set — the set itself stays private until a meta-audit);
+* :class:`AuditTrail` collects entries per protocol run;
+* :func:`meta_audit` replays a provider's disclosed set against its
+  commitments and flags under-declaration.
+
+Keys are per-provider HMAC secrets registered with the authority at
+onboarding — a stand-in for the TPM / signature-PKI deployment the
+paper sketches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import ProtocolError
+
+__all__ = ["TrailEntry", "AuditTrail", "commit_component_set", "meta_audit"]
+
+_GENESIS = "0" * 64
+
+
+def _digest(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def commit_component_set(components: Iterable[str], salt: str) -> str:
+    """Salted commitment to a component-set (order-independent)."""
+    if not salt:
+        raise ProtocolError("commitment salt must be non-empty")
+    body = "\n".join(sorted(set(components)))
+    if not body:
+        raise ProtocolError("cannot commit an empty component-set")
+    return _digest(f"{salt}:{body}".encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class TrailEntry:
+    """One provider's signed commitment for one protocol run."""
+
+    provider: str
+    run_id: str
+    commitment: str
+    set_size: int
+    previous: str
+    timestamp: float
+    signature: str
+
+    def body(self) -> str:
+        """The exact bytes the signature covers."""
+        return json.dumps(
+            {
+                "provider": self.provider,
+                "run_id": self.run_id,
+                "commitment": self.commitment,
+                "set_size": self.set_size,
+                "previous": self.previous,
+                "timestamp": self.timestamp,
+            },
+            sort_keys=True,
+        )
+
+
+class AuditTrail:
+    """Hash-chained log of PIA input commitments.
+
+    Args:
+        keys: ``{provider: HMAC secret}`` registered with the authority.
+    """
+
+    def __init__(self, keys: dict[str, bytes]) -> None:
+        if not keys:
+            raise ProtocolError("audit trail needs at least one provider key")
+        self._keys = dict(keys)
+        self._entries: list[TrailEntry] = []
+        self._head: dict[str, str] = {name: _GENESIS for name in keys}
+
+    def _sign(self, provider: str, body: str) -> str:
+        try:
+            key = self._keys[provider]
+        except KeyError:
+            raise ProtocolError(f"no key registered for {provider!r}") from None
+        return hmac.new(key, body.encode("utf-8"), hashlib.sha256).hexdigest()
+
+    def record(
+        self,
+        provider: str,
+        run_id: str,
+        components: Iterable[str],
+        salt: str,
+        timestamp: Optional[float] = None,
+    ) -> TrailEntry:
+        """Provider-side: commit and sign this run's input."""
+        items = sorted(set(components))
+        commitment = commit_component_set(items, salt)
+        unsigned = TrailEntry(
+            provider=provider,
+            run_id=run_id,
+            commitment=commitment,
+            set_size=len(items),
+            previous=self._head.get(provider, _GENESIS),
+            timestamp=time.time() if timestamp is None else timestamp,
+            signature="",
+        )
+        entry = TrailEntry(
+            **{**unsigned.__dict__, "signature": self._sign(provider, unsigned.body())}
+        )
+        self._entries.append(entry)
+        self._head[provider] = _digest(entry.body().encode("utf-8"))
+        return entry
+
+    def entries(self, provider: Optional[str] = None) -> list[TrailEntry]:
+        if provider is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.provider == provider]
+
+    def verify_chain(self, provider: str) -> bool:
+        """Authority-side: signatures valid and the hash chain unbroken."""
+        previous = _GENESIS
+        for entry in self.entries(provider):
+            if entry.previous != previous:
+                return False
+            if not hmac.compare_digest(
+                entry.signature, self._sign(provider, entry.body())
+            ):
+                return False
+            previous = _digest(entry.body().encode("utf-8"))
+        return True
+
+
+@dataclass
+class MetaAuditFinding:
+    """Outcome of spot-checking one provider's run."""
+
+    provider: str
+    run_id: str
+    honest: bool
+    reasons: list[str] = field(default_factory=list)
+
+
+def meta_audit(
+    trail: AuditTrail,
+    provider: str,
+    run_id: str,
+    disclosed_components: Iterable[str],
+    salt: str,
+    ground_truth: Optional[Iterable[str]] = None,
+) -> MetaAuditFinding:
+    """Spot-check a provider's PIA input (§5.2's IRS-style meta-audit).
+
+    Args:
+        disclosed_components: What the provider now hands the authority,
+            claiming it was the run's input.
+        salt: The commitment salt the provider discloses alongside.
+        ground_truth: Optionally, independently collected dependency
+            data (e.g. an on-site acquisition sweep) to catch
+            under-declaration rather than mere inconsistency.
+    """
+    finding = MetaAuditFinding(provider=provider, run_id=run_id, honest=True)
+    if not trail.verify_chain(provider):
+        finding.honest = False
+        finding.reasons.append("broken signature/hash chain")
+        return finding
+    matching = [
+        e for e in trail.entries(provider) if e.run_id == run_id
+    ]
+    if not matching:
+        finding.honest = False
+        finding.reasons.append(f"no trail entry for run {run_id!r}")
+        return finding
+    entry = matching[-1]
+    disclosed = sorted(set(disclosed_components))
+    if commit_component_set(disclosed, salt) != entry.commitment:
+        finding.honest = False
+        finding.reasons.append("disclosed set does not match commitment")
+    if len(disclosed) != entry.set_size:
+        finding.honest = False
+        finding.reasons.append(
+            f"declared size {entry.set_size} but disclosed {len(disclosed)}"
+        )
+    if ground_truth is not None:
+        truth = set(ground_truth)
+        missing = truth.difference(disclosed)
+        if missing:
+            finding.honest = False
+            finding.reasons.append(
+                f"under-declared {len(missing)} components "
+                f"(e.g. {sorted(missing)[:3]})"
+            )
+    return finding

@@ -1,0 +1,86 @@
+"""Jaccard similarity over component-sets (§4.2.2).
+
+``J(S_0..S_{k-1}) = |S_0 ∩ ... ∩ S_{k-1}| / |S_0 ∪ ... ∪ S_{k-1}|`` — the
+independence metric PIA computes privately.  J near 0 means the providers
+are nearly disjoint (independent); the paper adopts J >= 0.75 as the
+"significantly correlated" threshold (Walsh & Sirer's rule of thumb).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "jaccard",
+    "jaccard_multiset",
+    "sorensen_dice",
+    "SIGNIFICANT_CORRELATION",
+    "is_significantly_correlated",
+]
+
+#: Datasets with J >= 0.75 are considered significantly correlated (§4.2.2).
+SIGNIFICANT_CORRELATION = 0.75
+
+
+def jaccard(sets: Sequence[Iterable[str]]) -> float:
+    """Exact Jaccard similarity of two or more sets.
+
+    >>> jaccard([{"a", "b"}, {"b", "c"}])
+    0.3333333333333333
+    """
+    frozen = [frozenset(s) for s in sets]
+    if len(frozen) < 2:
+        raise AnalysisError("Jaccard needs at least two datasets")
+    if any(not s for s in frozen):
+        raise AnalysisError("Jaccard over an empty dataset is undefined")
+    intersection = frozenset.intersection(*frozen)
+    union = frozenset.union(*frozen)
+    return len(intersection) / len(union)
+
+
+def jaccard_multiset(multisets: Sequence[Mapping[str, int]]) -> float:
+    """Multiset Jaccard: min-counts over max-counts.
+
+    P-SOP handles duplicate elements by tagging occurrences (``e||1``,
+    ``e||2``, ...); this is the plaintext value that expansion computes.
+    """
+    if len(multisets) < 2:
+        raise AnalysisError("Jaccard needs at least two datasets")
+    keys: set[str] = set()
+    for ms in multisets:
+        if not ms:
+            raise AnalysisError("Jaccard over an empty dataset is undefined")
+        for element, count in ms.items():
+            if count < 1:
+                raise AnalysisError(
+                    f"multiset count must be >= 1, got {count} for {element!r}"
+                )
+        keys.update(ms)
+    inter = sum(min(ms.get(k, 0) for ms in multisets) for k in keys)
+    union = sum(max(ms.get(k, 0) for ms in multisets) for k in keys)
+    return inter / union
+
+
+def sorensen_dice(sets: Sequence[Iterable[str]]) -> float:
+    """Sørensen–Dice index — the alternative metric §4.2.2 mentions.
+
+    ``D = k·|∩ S_i| / Σ|S_i|``; related to Jaccard by ``D = 2J/(1+J)``
+    for two sets.  The paper prefers Jaccard for its clean multi-set
+    extension, but both are available for comparison studies.
+    """
+    frozen = [frozenset(s) for s in sets]
+    if len(frozen) < 2:
+        raise AnalysisError("Sorensen-Dice needs at least two datasets")
+    if any(not s for s in frozen):
+        raise AnalysisError("Sorensen-Dice over an empty dataset is undefined")
+    intersection = frozenset.intersection(*frozen)
+    return len(frozen) * len(intersection) / sum(len(s) for s in frozen)
+
+
+def is_significantly_correlated(similarity: float) -> bool:
+    """Apply the paper's J >= 0.75 correlation threshold."""
+    if not 0.0 <= similarity <= 1.0 + 1e-9:
+        raise AnalysisError(f"similarity outside [0,1]: {similarity}")
+    return similarity >= SIGNIFICANT_CORRELATION

@@ -1,0 +1,280 @@
+"""Kissner–Song style PSI cardinality — the paper's PIA baseline (§6.3.2).
+
+Multi-party private set-intersection cardinality from homomorphic
+encryption and polynomial encoding [Kissner & Song, CRYPTO'05], in the
+honest-but-curious, non-colluding model of §4.2.1.  The protocol is
+peer-to-peer: the key is *threshold-shared* (simulated by additive
+sharing of the Paillier decryption exponent dealt at setup), so no
+single party — and no agent — can decrypt alone:
+
+1. a setup dealer generates the Paillier keypair and deals additive
+   shares of the decryption exponent to the k providers;
+2. each provider encodes its hashed dataset as the monic polynomial
+   ``f_j`` whose roots are its elements, masks it with a fresh random
+   polynomial ``r_j`` of equal degree, and the ring accumulates
+   ``Enc(λ) = Enc(Σ_j f_j · r_j)`` hop by hop; the last hop broadcasts
+   ``Enc(λ)`` to everyone;
+3. each provider evaluates ``Enc(λ(e))`` for every local element by
+   encrypted Horner's rule, blinds it, permutes its batch, and
+   broadcasts the batch to all other providers;
+4. **threshold decryption**: every provider computes a partial
+   decryption ``c^{λ_i}`` of every evaluation ciphertext and sends it to
+   every other provider — the O(k³·n) traffic that makes KS bandwidth
+   grow much faster with k than P-SOP's (Figure 8a);
+5. combining the shares reveals ``λ(e)``; zeros (w.h.p. elements lying
+   in every provider's set) in any one batch give the intersection
+   cardinality.
+
+The encrypted Horner step costs O(n) ciphertext exponentiations per
+element — O(n²) big-modexps total — which is why Figure 8b shows KS
+orders of magnitude slower than P-SOP.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.crypto.paillier import (
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_keypair,
+)
+from repro.crypto.permutation import Permuter
+from repro.errors import ProtocolError
+from repro.privacy.network_sim import ProtocolNetwork
+
+__all__ = ["KSParty", "KSResult", "KSProtocol"]
+
+
+@dataclass
+class KSResult:
+    """Outcome of one KS execution."""
+
+    parties: tuple[str, ...]
+    intersection: int
+    bytes_sent: dict[str, int]
+    total_bytes: int
+    elapsed_seconds: float
+    ciphertext_bytes: int
+    metadata: dict = field(default_factory=dict)
+
+
+def _hash_element(element: str, modulus: int) -> int:
+    """Map an identifier to a non-zero field element below ``modulus``."""
+    digest = hashlib.sha256(element.encode("utf-8")).digest()
+    value = int.from_bytes(digest, "big") % modulus
+    return value or 1
+
+
+def _poly_from_roots(roots: Sequence[int], modulus: int) -> list[int]:
+    """Monic polynomial with the given roots: prod (x - r), low-order first."""
+    coeffs = [1]
+    for root in roots:
+        neg = (-root) % modulus
+        nxt = [0] * (len(coeffs) + 1)
+        for i, c in enumerate(coeffs):
+            nxt[i] = (nxt[i] + c * neg) % modulus
+            nxt[i + 1] = (nxt[i + 1] + c) % modulus
+        coeffs = nxt
+    return coeffs
+
+
+def _poly_multiply(a: Sequence[int], b: Sequence[int], modulus: int) -> list[int]:
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            out[i + j] = (out[i + j] + ca * cb) % modulus
+    return out
+
+
+class KSParty:
+    """One provider in the KS protocol."""
+
+    def __init__(
+        self, name: str, elements: Iterable[str], seed: Optional[int] = None
+    ) -> None:
+        self.name = name
+        self.elements = sorted(set(elements))
+        if not self.elements:
+            raise ProtocolError(f"party {name!r} has an empty dataset")
+        self._rng = random.Random(seed)
+        self.permuter = Permuter(seed=None if seed is None else seed + 1)
+        self._lam_share: int = 0
+
+    def masked_encrypted_polynomial(
+        self, public: PaillierPublicKey
+    ) -> list[int]:
+        """``Enc(f_j * r_j)`` coefficients (step 2)."""
+        n = public.n
+        roots = [_hash_element(e, n) for e in self.elements]
+        f = _poly_from_roots(roots, n)
+        r = [self._rng.randrange(1, n) for _ in range(len(roots) + 1)]
+        product = _poly_multiply(f, r, n)
+        rng = self._rng
+        return [public.encrypt(c, rng) for c in product]
+
+    def evaluate_encrypted(
+        self, public: PaillierPublicKey, encrypted_coeffs: Sequence[int]
+    ) -> list[int]:
+        """Blinded ``Enc(λ(e))`` for each local element (step 3)."""
+        evaluations = []
+        n = public.n
+        for element in self.elements:
+            x = _hash_element(element, n)
+            # Horner: acc = c_d; acc = acc*x + c_i  (all under encryption).
+            acc = encrypted_coeffs[-1]
+            for coeff in reversed(encrypted_coeffs[:-1]):
+                acc = public.add(public.multiply_plain(acc, x), coeff)
+            blind = self._rng.randrange(1, n)
+            evaluations.append(public.multiply_plain(acc, blind))
+        return self.permuter.shuffle(evaluations)
+
+    def partial_decryptions(
+        self, public: PaillierPublicKey, ciphertexts: Sequence[int]
+    ) -> list[int]:
+        """``c^{λ_i} mod n²`` for every ciphertext (step 4)."""
+        nsq = public.nsq
+        share = self._lam_share
+        return [pow(c, share, nsq) for c in ciphertexts]
+
+
+class KSProtocol:
+    """Peer-to-peer KS execution with byte accounting.
+
+    Args:
+        parties: Participating providers (ring order = list order).
+        key_bits: Paillier modulus size (paper: 1024).
+        keypair: Pre-generated keypair (key generation dominates small
+            runs; benchmarks share one across configurations).
+    """
+
+    def __init__(
+        self,
+        parties: Sequence[KSParty],
+        key_bits: int = 1024,
+        seed: Optional[int] = 0,
+        network: Optional[ProtocolNetwork] = None,
+        keypair: Optional[
+            tuple[PaillierPublicKey, PaillierPrivateKey]
+        ] = None,
+    ) -> None:
+        if len(parties) < 2:
+            raise ProtocolError("KS needs at least two parties")
+        names = [p.name for p in parties]
+        if len(set(names)) != len(names):
+            raise ProtocolError(f"duplicate party names: {names}")
+        self.parties = list(parties)
+        self.network = network if network is not None else ProtocolNetwork()
+        self.network.register(names)
+        if keypair is None:
+            keypair = generate_keypair(key_bits, seed=seed)
+        self.public, self.private = keypair
+        self._deal_key_shares(seed)
+
+    def _deal_key_shares(self, seed: Optional[int]) -> None:
+        """Additively share the decryption exponent λ across parties."""
+        rng = random.Random(None if seed is None else seed + 99)
+        modulus = self.public.n * self.private.lam  # shares need headroom
+        total = 0
+        for party in self.parties[:-1]:
+            share = rng.randrange(modulus)
+            party._lam_share = share
+            total += share
+        self.parties[-1]._lam_share = self.private.lam - total
+
+    def _threshold_decrypt(self, partials: Sequence[int]) -> int:
+        """Combine partial decryptions ``c^{λ_i}`` into the plaintext."""
+        public = self.public
+        x = 1
+        for partial in partials:
+            x = (x * partial) % public.nsq
+        l_value = (x - 1) // public.n
+        return (l_value * self.private.mu) % public.n
+
+    def run(self) -> KSResult:
+        started = time.perf_counter()
+        public = self.public
+        width = public.ciphertext_bytes
+        k = len(self.parties)
+
+        # Step 2: ring-accumulate Enc(lambda), then broadcast it.
+        aggregated: list[int] = []
+        for i, party in enumerate(self.parties):
+            coeffs = party.masked_encrypted_polynomial(public)
+            if len(coeffs) > len(aggregated):
+                aggregated.extend([None] * (len(coeffs) - len(aggregated)))
+            for j, coeff in enumerate(coeffs):
+                aggregated[j] = (
+                    coeff
+                    if aggregated[j] is None
+                    else public.add(aggregated[j], coeff)
+                )
+            if i < k - 1:
+                self.network.send_elements(
+                    party.name,
+                    self.parties[i + 1].name,
+                    [c for c in aggregated if c is not None],
+                    width,
+                    phase="ring",
+                )
+        last = self.parties[-1]
+        for party in self.parties[:-1]:
+            self.network.send_elements(
+                last.name, party.name, aggregated, width, phase="broadcast"
+            )
+
+        # Step 3: everyone evaluates and broadcasts its blinded batch.
+        batches: list[list[int]] = []
+        for party in self.parties:
+            evals = party.evaluate_encrypted(public, aggregated)
+            batches.append(evals)
+            for receiver in self.parties:
+                if receiver is party:
+                    continue
+                self.network.send_elements(
+                    party.name, receiver.name, evals, width,
+                    phase="evaluations",
+                )
+
+        # Step 4: threshold decryption — every party sends a partial
+        # decryption of every evaluation ciphertext to every other party.
+        all_ciphertexts = [c for batch in batches for c in batch]
+        partials_by_party = []
+        for party in self.parties:
+            partials = party.partial_decryptions(public, all_ciphertexts)
+            partials_by_party.append(partials)
+            for receiver in self.parties:
+                if receiver is party:
+                    continue
+                self.network.send_elements(
+                    party.name, receiver.name, partials, width,
+                    phase="decryption-shares",
+                )
+
+        # Step 5: combine shares; zeros in party 0's batch = |intersection|.
+        intersection = 0
+        for index in range(len(batches[0])):
+            plaintext = self._threshold_decrypt(
+                [partials[index] for partials in partials_by_party]
+            )
+            if plaintext == 0:
+                intersection += 1
+        elapsed = time.perf_counter() - started
+        return KSResult(
+            parties=tuple(p.name for p in self.parties),
+            intersection=intersection,
+            bytes_sent=self.network.per_party_sent(),
+            total_bytes=self.network.total_bytes(),
+            elapsed_seconds=elapsed,
+            ciphertext_bytes=width,
+            metadata={
+                "dataset_sizes": [len(p.elements) for p in self.parties],
+                "aggregated_degree": len(aggregated) - 1,
+            },
+        )

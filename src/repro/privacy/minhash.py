@@ -1,0 +1,73 @@
+"""MinHash approximation of Jaccard similarity (§4.2.2).
+
+For large component-sets, each provider condenses its set into an
+``m``-entry signature: the element minimising each of ``m`` shared hash
+functions.  The fraction of signature positions where *all* providers
+agree estimates the Jaccard similarity with expected error ``O(1/sqrt(m))``
+[Broder 1997].  Signatures also shrink the P-SOP input from ``|S|`` to
+``m`` elements — the efficiency/accuracy trade-off of §4.2.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.crypto.hashing import HashFamily
+from repro.errors import AnalysisError
+
+__all__ = ["MinHashSignature", "minhash_signature", "estimate_jaccard"]
+
+
+@dataclass(frozen=True)
+class MinHashSignature:
+    """One provider's MinHash signature.
+
+    Attributes:
+        mins: ``mins[i]`` is the 64-bit hash value ``min(h_i(e) for e in S)``.
+        size: Signature length m (number of hash functions).
+    """
+
+    mins: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.mins)
+
+    def slot_elements(self) -> list[str]:
+        """Signature as P-SOP-ready identifiers (``slot:value``).
+
+        Tagging values with their slot index means two providers only
+        "match" in the intersection protocol when the *same* hash
+        function produced the *same* minimum — exactly the MinHash
+        agreement event.
+        """
+        return [f"{i}:{v}" for i, v in enumerate(self.mins)]
+
+
+def minhash_signature(
+    elements: Iterable[str], family: HashFamily
+) -> MinHashSignature:
+    """Compute a signature under a shared hash family."""
+    pool = list(elements)
+    if not pool:
+        raise AnalysisError("cannot MinHash an empty dataset")
+    mins = []
+    for index in range(family.size):
+        mins.append(min(family(index, e) for e in pool))
+    return MinHashSignature(mins=tuple(mins))
+
+
+def estimate_jaccard(signatures: Sequence[MinHashSignature]) -> float:
+    """``delta / m``: fraction of slots where all signatures agree."""
+    if len(signatures) < 2:
+        raise AnalysisError("need at least two signatures")
+    size = signatures[0].size
+    if any(s.size != size for s in signatures):
+        raise AnalysisError("signatures must share the same hash family size")
+    agreeing = 0
+    for i in range(size):
+        first = signatures[0].mins[i]
+        if all(s.mins[i] == first for s in signatures[1:]):
+            agreeing += 1
+    return agreeing / size

@@ -1,0 +1,87 @@
+"""Component-set normalisation for PIA (§4.2.3).
+
+Private intersection only works if the *same* third-party component has
+the *same* identifier at every provider.  The paper normalises the two
+component classes that commonly cross provider boundaries:
+
+* **routing elements** — identified by their public IP address (we also
+  accept stable device names, the cross-provider identifier a peering
+  database would give);
+* **software packages** — identified by ``name@version``.
+
+Anything that cannot be normalised stays provider-local and can only
+ever inflate the union (making providers look *more* independent), so
+normalisation completeness is a soundness knob, not a correctness one.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ProtocolError
+
+__all__ = ["NormalizedComponent", "normalize_router", "normalize_package",
+           "normalize_component_set"]
+
+_IP_RE = re.compile(
+    r"^(25[0-5]|2[0-4]\d|1?\d?\d)(\.(25[0-5]|2[0-4]\d|1?\d?\d)){3}$"
+)
+_VERSIONED_RE = re.compile(r"^[A-Za-z0-9][\w.+-]*@[\w.:~+-]+$")
+
+
+@dataclass(frozen=True)
+class NormalizedComponent:
+    """A provider-independent component identifier."""
+
+    kind: str          # "router" | "package"
+    identifier: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.identifier}"
+
+
+def normalize_router(raw: str) -> NormalizedComponent:
+    """Normalise a routing element: IPs verbatim, names lower-cased."""
+    value = raw.strip()
+    if not value:
+        raise ProtocolError("empty router identifier")
+    if _IP_RE.match(value):
+        return NormalizedComponent(kind="router", identifier=value)
+    return NormalizedComponent(kind="router", identifier=value.lower())
+
+
+def normalize_package(raw: str) -> NormalizedComponent:
+    """Normalise a software package to ``name@version``.
+
+    Accepts ``name@version`` (kept), ``name=version`` / ``name version``
+    (rewritten) and bare names (versioned ``@unknown`` so that two
+    providers naming a package without versions still match — the
+    conservative choice for overlap detection).
+    """
+    value = raw.strip()
+    if not value:
+        raise ProtocolError("empty package identifier")
+    for separator in ("=", " "):
+        if separator in value and "@" not in value:
+            name, _, version = value.partition(separator)
+            value = f"{name.strip()}@{version.strip()}"
+            break
+    if "@" not in value:
+        value = f"{value}@unknown"
+    value = value.lower()
+    if not _VERSIONED_RE.match(value):
+        raise ProtocolError(f"cannot normalise package identifier {raw!r}")
+    return NormalizedComponent(kind="package", identifier=value)
+
+
+def normalize_component_set(
+    routers: Iterable[str] = (), packages: Iterable[str] = ()
+) -> frozenset[str]:
+    """Normalise a provider's raw component collections for PIA input."""
+    out = {str(normalize_router(r)) for r in routers}
+    out.update(str(normalize_package(p)) for p in packages)
+    if not out:
+        raise ProtocolError("normalisation produced an empty component-set")
+    return frozenset(out)

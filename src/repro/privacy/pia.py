@@ -1,0 +1,281 @@
+"""Private Independence Auditing — PIA (§4.2).
+
+Orchestrates the end-to-end private workflow: normalise each provider's
+component-set, run a private set-intersection cardinality protocol for
+every candidate redundancy deployment, and rank deployments by Jaccard
+similarity (ascending = most independent first) into the report the
+client receives — Table 2's exact shape.
+
+Protocols:
+
+* ``psop`` — exact Jaccard via the commutative-encryption ring (§4.2.4);
+* ``psop-minhash`` — MinHash signatures through P-SOP for large sets,
+  estimating ``J ≈ δ/m`` (§4.2.4);
+* ``plaintext`` — non-private reference (ground truth for tests and for
+  the SIA-vs-PIA comparisons of §6.3.3).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.cloud.deployment import enumerate_deployments
+from repro.crypto.commutative import SharedGroup
+from repro.crypto.hashing import HashFamily
+from repro.errors import ProtocolError
+from repro.privacy.jaccard import is_significantly_correlated, jaccard
+from repro.privacy.minhash import estimate_jaccard, minhash_signature
+from repro.privacy.network_sim import ProtocolNetwork
+from repro.privacy.psop import PSOPParty, PSOPProtocol
+
+__all__ = ["PIAEntry", "PIAReport", "PIAAuditor"]
+
+
+@dataclass(frozen=True)
+class PIAEntry:
+    """One deployment's similarity measurement."""
+
+    rank: int
+    deployment: tuple[str, ...]
+    jaccard: float
+    estimated: bool
+
+    @property
+    def name(self) -> str:
+        return " & ".join(self.deployment)
+
+    @property
+    def significantly_correlated(self) -> bool:
+        return is_significantly_correlated(self.jaccard)
+
+
+@dataclass
+class PIAReport:
+    """Ranking of candidate deployments by Jaccard similarity (§4.2.5)."""
+
+    title: str
+    entries: list[PIAEntry]
+    protocol: str
+    total_bytes: int = 0
+    elapsed_seconds: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    def best(self) -> PIAEntry:
+        return self.entries[0]
+
+    def to_dict(self) -> dict:
+        return {
+            "title": self.title,
+            "protocol": self.protocol,
+            "total_bytes": self.total_bytes,
+            "elapsed_seconds": self.elapsed_seconds,
+            "entries": [
+                {
+                    "rank": e.rank,
+                    "deployment": list(e.deployment),
+                    "jaccard": e.jaccard,
+                    "estimated": e.estimated,
+                }
+                for e in self.entries
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render_text(self) -> str:
+        lines = [f"PIA report: {self.title}  (protocol: {self.protocol})"]
+        lines.append(f"{'Rank':<6}{'Deployment':<40}{'Jaccard':<10}")
+        for entry in self.entries:
+            flag = "  !! correlated" if entry.significantly_correlated else ""
+            lines.append(
+                f"{entry.rank:<6}{entry.name:<40}{entry.jaccard:<10.4f}{flag}"
+            )
+        return "\n".join(lines)
+
+
+class PIAAuditor:
+    """Agent-side PIA driver.
+
+    Args:
+        component_sets: ``{provider: normalised component identifiers}``.
+        protocol: ``"psop"``, ``"psop-minhash"`` or ``"plaintext"``.
+        group_bits: Commutative-group modulus size (paper: 1024).
+        minhash_size: Signature length m for the MinHash variant.
+        seed: Base seed for party keys/permutations (reproducibility).
+    """
+
+    def __init__(
+        self,
+        component_sets: Mapping[str, Sequence[str]],
+        protocol: str = "psop",
+        group_bits: int = 1024,
+        minhash_size: int = 256,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if len(component_sets) < 2:
+            raise ProtocolError("PIA needs at least two providers")
+        if protocol not in ("psop", "psop-minhash", "plaintext"):
+            raise ProtocolError(f"unknown protocol {protocol!r}")
+        self.sets = {
+            name: frozenset(items) for name, items in component_sets.items()
+        }
+        for name, items in self.sets.items():
+            if not items:
+                raise ProtocolError(f"provider {name!r} has no components")
+        self.protocol = protocol
+        self.minhash_size = minhash_size
+        self.seed = seed
+        self._group: Optional[SharedGroup] = None
+        self._group_bits = group_bits
+        self._family = HashFamily(size=minhash_size, seed=0 if seed is None else seed)
+
+    @property
+    def providers(self) -> list[str]:
+        return list(self.sets)
+
+    def _shared_group(self) -> SharedGroup:
+        if self._group is None:
+            self._group = SharedGroup.with_bits(self._group_bits)
+        return self._group
+
+    # ------------------------------------------------------------------ #
+    # Single-deployment measurement
+    # ------------------------------------------------------------------ #
+
+    def measure(
+        self,
+        deployment: Sequence[str],
+        network: Optional[ProtocolNetwork] = None,
+    ) -> tuple[float, bool, int]:
+        """Similarity of one provider combination.
+
+        Returns:
+            (jaccard, estimated?, wire bytes moved)
+        """
+        names = list(deployment)
+        missing = [n for n in names if n not in self.sets]
+        if missing:
+            raise ProtocolError(f"unknown providers: {missing}")
+        if len(names) < 2:
+            raise ProtocolError("a deployment needs at least two providers")
+        if self.protocol == "plaintext":
+            return jaccard([self.sets[n] for n in names]), False, 0
+        group = self._shared_group()
+        if self.protocol == "psop":
+            inputs = {n: sorted(self.sets[n]) for n in names}
+            estimated = False
+        else:  # psop-minhash
+            inputs = {
+                n: minhash_signature(self.sets[n], self._family).slot_elements()
+                for n in names
+            }
+            estimated = True
+        parties = [
+            PSOPParty(
+                name,
+                inputs[name],
+                group,
+                seed=None if self.seed is None else self.seed + 17 * i,
+            )
+            for i, name in enumerate(names)
+        ]
+        result = PSOPProtocol(parties, network=network).run()
+        if self.protocol == "psop-minhash":
+            # delta/m: agreeing slots over signature size (§4.2.4).
+            return result.intersection / self.minhash_size, True, result.total_bytes
+        return result.jaccard, estimated, result.total_bytes
+
+    # ------------------------------------------------------------------ #
+    # Reports
+    # ------------------------------------------------------------------ #
+
+    def audit_n_of_m(
+        self,
+        n: int,
+        providers: Sequence[str],
+        title: Optional[str] = None,
+    ) -> PIAReport:
+        """Audit one *n-of-m* deployment (§4.2.5).
+
+        For an n-of-m deployment the agent "needs to obtain the Jaccard
+        similarity across all the n cloud providers and the similarity
+        across all the m cloud providers": the report carries one entry
+        per n-subset (candidate working sets) plus the all-m entry, so a
+        client sees both which quorum is most independent and how
+        correlated the full pool is.
+        """
+        pool = list(providers)
+        if not 2 <= n <= len(pool):
+            raise ProtocolError(f"n={n} outside 2..{len(pool)}")
+        started = time.perf_counter()
+        measured = []
+        total_bytes = 0
+        estimated_any = False
+        subsets = [d.members for d in enumerate_deployments(pool, n)]
+        if len(pool) > n:
+            subsets.append(tuple(pool))
+        for members in subsets:
+            value, estimated, n_bytes = self.measure(members)
+            measured.append((value, members))
+            total_bytes += n_bytes
+            estimated_any = estimated_any or estimated
+        measured.sort(key=lambda t: (t[0], t[1]))
+        entries = [
+            PIAEntry(
+                rank=i + 1,
+                deployment=members,
+                jaccard=value,
+                estimated=estimated_any,
+            )
+            for i, (value, members) in enumerate(measured)
+        ]
+        return PIAReport(
+            title=title or f"{n}-of-{len(pool)} redundancy deployment",
+            entries=entries,
+            protocol=self.protocol,
+            total_bytes=total_bytes,
+            elapsed_seconds=time.perf_counter() - started,
+            metadata={"providers": pool, "n": n, "m": len(pool)},
+        )
+
+    def audit(
+        self,
+        ways: int = 2,
+        providers: Optional[Sequence[str]] = None,
+        title: Optional[str] = None,
+    ) -> PIAReport:
+        """Measure every ``ways``-way deployment and rank them."""
+        pool = list(providers) if providers is not None else self.providers
+        deployments = enumerate_deployments(pool, ways)
+        started = time.perf_counter()
+        measured = []
+        total_bytes = 0
+        estimated_any = False
+        for deployment in deployments:
+            value, estimated, n_bytes = self.measure(deployment.members)
+            measured.append((value, deployment.members))
+            total_bytes += n_bytes
+            estimated_any = estimated_any or estimated
+        measured.sort(key=lambda t: (t[0], t[1]))
+        entries = [
+            PIAEntry(
+                rank=i + 1,
+                deployment=members,
+                jaccard=value,
+                estimated=estimated_any,
+            )
+            for i, (value, members) in enumerate(measured)
+        ]
+        elapsed = time.perf_counter() - started
+        return PIAReport(
+            title=title or f"all {ways}-way redundancy deployments",
+            entries=entries,
+            protocol=self.protocol,
+            total_bytes=total_bytes,
+            elapsed_seconds=elapsed,
+            metadata={"providers": pool, "ways": ways},
+        )

@@ -1,0 +1,204 @@
+"""P-SOP: private set-intersection cardinality over a commutative ring
+(§4.2.2, §4.2.4).
+
+The k providers form a logical ring.  Each one hashes every element of
+its (multiset-expanded) dataset into the shared group, encrypts with its
+own commutative key, permutes, and forwards to its successor; after k-1
+hops every dataset has been encrypted by *all* parties, so equal
+plaintexts map to equal final ciphertexts regardless of encryption order.
+Sharing the final datasets lets everyone count
+
+* ``|S_0 ∩ ... ∩ S_{k-1}|`` — ciphertexts present in all k datasets, and
+* ``|S_0 ∪ ... ∪ S_{k-1}|`` — distinct ciphertexts overall,
+
+hence the Jaccard similarity — while nobody ever sees another provider's
+elements in the clear.  Multisets are supported by occurrence tagging
+(``e||1``, ``e||2``, ...), exactly as described in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from repro.crypto.commutative import CommutativeKey, SharedGroup, hash_to_group
+from repro.crypto.permutation import Permuter
+from repro.errors import ProtocolError
+from repro.privacy.network_sim import ProtocolNetwork
+
+__all__ = ["PSOPParty", "PSOPResult", "PSOPProtocol"]
+
+Dataset = Union[Iterable[str], Mapping[str, int]]
+
+
+@dataclass
+class PSOPResult:
+    """Outcome of one P-SOP execution.
+
+    Attributes:
+        intersection: ``|∩ S_i|`` (multiset-aware).
+        union: ``|∪ S_i|``.
+        jaccard: ``intersection / union``.
+        bytes_sent: Total wire bytes per party (Figure 8a's metric).
+        elapsed_seconds: Wall-clock protocol time (Figure 8b's metric).
+    """
+
+    parties: tuple[str, ...]
+    intersection: int
+    union: int
+    jaccard: float
+    bytes_sent: dict[str, int]
+    total_bytes: int
+    elapsed_seconds: float
+    element_bytes: int
+    metadata: dict = field(default_factory=dict)
+
+
+class PSOPParty:
+    """One provider participating in P-SOP."""
+
+    def __init__(
+        self,
+        name: str,
+        elements: Dataset,
+        group: SharedGroup,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.group = group
+        self.key = CommutativeKey(group, seed=seed)
+        self.permuter = Permuter(seed=None if seed is None else seed + 1)
+        self._expanded = _expand_multiset(elements)
+        if not self._expanded:
+            raise ProtocolError(f"party {name!r} has an empty dataset")
+
+    @property
+    def size(self) -> int:
+        return len(self._expanded)
+
+    def initial_dataset(self) -> list[int]:
+        """Hash, encrypt with own key, and permute the local dataset."""
+        hashed = [hash_to_group(e, self.group) for e in self._expanded]
+        encrypted = self.key.encrypt_many(hashed)
+        return self.permuter.shuffle(encrypted)
+
+    def reencrypt(self, dataset: Sequence[int]) -> list[int]:
+        """Ring step: encrypt a received dataset and permute it."""
+        return self.permuter.shuffle(self.key.encrypt_many(list(dataset)))
+
+
+def _expand_multiset(elements: Dataset) -> list[str]:
+    """Occurrence-tag duplicates: e appearing t times -> e||1 .. e||t."""
+    if isinstance(elements, Mapping):
+        expanded: list[str] = []
+        for element, count in elements.items():
+            if count < 1:
+                raise ProtocolError(
+                    f"multiset count must be >= 1, got {count} for {element!r}"
+                )
+            expanded.extend(f"{element}||{i}" for i in range(1, count + 1))
+        return expanded
+    pool = list(elements)
+    counts = Counter(pool)
+    expanded = []
+    for element, count in counts.items():
+        expanded.extend(f"{element}||{i}" for i in range(1, count + 1))
+    return expanded
+
+
+class PSOPProtocol:
+    """Supervised P-SOP execution (the auditing agent's role in Fig 1).
+
+    Args:
+        parties: The participating providers (ring order = list order).
+        network: Optional shared byte-accounting fabric; a fresh one is
+            created when omitted.
+    """
+
+    def __init__(
+        self,
+        parties: Sequence[PSOPParty],
+        network: Optional[ProtocolNetwork] = None,
+    ) -> None:
+        if len(parties) < 2:
+            raise ProtocolError("P-SOP needs at least two parties")
+        names = [p.name for p in parties]
+        if len(set(names)) != len(names):
+            raise ProtocolError(f"duplicate party names: {names}")
+        groups = {id(p.group) for p in parties}
+        if len(groups) != 1:
+            raise ProtocolError("all parties must share one group")
+        self.parties = list(parties)
+        self.network = network if network is not None else ProtocolNetwork()
+        self.network.register(names)
+
+    def run(self) -> PSOPResult:
+        """Execute the full ring protocol and compute the similarity."""
+        started = time.perf_counter()
+        k = len(self.parties)
+        group = self.parties[0].group
+        width = group.element_bytes
+
+        # Round 0: everyone prepares its own dataset.
+        datasets: list[list[int]] = [p.initial_dataset() for p in self.parties]
+        owners = list(range(k))
+
+        # Rounds 1..k-1: forward around the ring, re-encrypting.
+        for hop in range(1, k):
+            next_datasets: list[list[int]] = [[] for _ in range(k)]
+            next_owners = [0] * k
+            for slot in range(k):
+                holder = (owners[slot] + hop - 1) % k
+                successor = (holder + 1) % k
+                self.network.send_elements(
+                    self.parties[holder].name,
+                    self.parties[successor].name,
+                    datasets[slot],
+                    width,
+                    phase=f"ring-hop-{hop}",
+                )
+                next_datasets[slot] = self.parties[successor].reencrypt(
+                    datasets[slot]
+                )
+                next_owners[slot] = owners[slot]
+            datasets = next_datasets
+            owners = next_owners
+
+        # Final share: each holder broadcasts its fully-encrypted dataset.
+        for slot in range(k):
+            holder = (owners[slot] + k - 1) % k
+            for receiver in range(k):
+                if receiver == holder:
+                    continue
+                self.network.send_elements(
+                    self.parties[holder].name,
+                    self.parties[receiver].name,
+                    datasets[slot],
+                    width,
+                    phase="share",
+                )
+
+        counters = [Counter(d) for d in datasets]
+        keys: set[int] = set()
+        for counter in counters:
+            keys.update(counter)
+        intersection = sum(
+            min(counter[key] for counter in counters) for key in keys
+        )
+        union = sum(
+            max(counter[key] for counter in counters) for key in keys
+        )
+        elapsed = time.perf_counter() - started
+        return PSOPResult(
+            parties=tuple(p.name for p in self.parties),
+            intersection=intersection,
+            union=union,
+            jaccard=intersection / union,
+            bytes_sent=self.network.per_party_sent(),
+            total_bytes=self.network.total_bytes(),
+            elapsed_seconds=elapsed,
+            element_bytes=width,
+            metadata={"hops": k - 1, "dataset_sizes": [p.size for p in self.parties]},
+        )

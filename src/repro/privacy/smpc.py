@@ -1,0 +1,119 @@
+"""Toy secure multi-party computation baseline (§4.2, related work).
+
+Xiao et al. audited cloud structures with general SMPC; the paper reports
+that circuit-based SMPC "performs adequately only on small dependency
+datasets" — impractical even for a few hundred components.  This module
+implements a minimal honest-but-curious two-party set-intersection
+cardinality using additive secret sharing with dealer-assisted (Beaver)
+multiplication, so benchmarks can measure *why* INDaaS moved to P-SOP:
+
+every element pair needs one secure multiplication, so the protocol does
+``O(n^2)`` multiplications and ``O(n^2)`` share transfers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import ProtocolError
+from repro.privacy.network_sim import ProtocolNetwork
+
+__all__ = ["SMPCResult", "smpc_intersection_cardinality"]
+
+#: 61-bit Mersenne prime field; elements are hashed into it.
+FIELD = (1 << 61) - 1
+_SHARE_BYTES = 8
+
+
+@dataclass
+class SMPCResult:
+    """Outcome of the toy SMPC intersection."""
+
+    intersection: int
+    multiplications: int
+    total_bytes: int
+    elapsed_seconds: float
+    metadata: dict = field(default_factory=dict)
+
+
+def _hash_to_field(element: str) -> int:
+    digest = hashlib.sha256(element.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % FIELD or 1
+
+
+def _share(value: int, rng: random.Random) -> tuple[int, int]:
+    a = rng.randrange(FIELD)
+    return a, (value - a) % FIELD
+
+
+def smpc_intersection_cardinality(
+    set_a: Iterable[str],
+    set_b: Iterable[str],
+    seed: Optional[int] = 0,
+    network: Optional[ProtocolNetwork] = None,
+) -> SMPCResult:
+    """Two-party PSI cardinality via secret-shared equality tests.
+
+    For every pair (a, b) the parties compute shares of ``(a - b) * r``
+    with a dealer-provided Beaver triple and reveal the product: zero
+    means equal (r is a fresh non-zero random).  Cost is quadratic, which
+    is the point of keeping this baseline around.
+    """
+    elements_a = sorted({_hash_to_field(e) for e in set_a})
+    elements_b = sorted({_hash_to_field(e) for e in set_b})
+    if not elements_a or not elements_b:
+        raise ProtocolError("SMPC baseline needs non-empty sets")
+    rng = random.Random(seed)
+    net = network if network is not None else ProtocolNetwork()
+    net.register(("party-a", "party-b", "dealer"))
+
+    started = time.perf_counter()
+    matches = 0
+    multiplications = 0
+    for a in elements_a:
+        a0, a1 = _share(a, rng)
+        # Party A sends B's share of each of its elements once per row.
+        net.send("party-a", "party-b", _SHARE_BYTES, phase="input-shares")
+        for b in elements_b:
+            b0, b1 = _share(b, rng)
+            net.send("party-b", "party-a", _SHARE_BYTES, phase="input-shares")
+            # Dealer deals a Beaver triple (x, y, xy) in shares.
+            x, y = rng.randrange(FIELD), rng.randrange(FIELD)
+            z = (x * y) % FIELD
+            x0, x1 = _share(x, rng)
+            y0, y1 = _share(y, rng)
+            z0, z1 = _share(z, rng)
+            net.send("dealer", "party-a", 3 * _SHARE_BYTES, phase="triples")
+            net.send("dealer", "party-b", 3 * _SHARE_BYTES, phase="triples")
+            # Secure multiply (d := a-b, r random non-zero): shares of d*r.
+            r = rng.randrange(1, FIELD)
+            d0, d1 = (a0 - b0) % FIELD, (a1 - b1) % FIELD
+            r0, r1 = _share(r, rng)
+            # Open d - x and r - y (two transfers each way).
+            e_open = (d0 + d1 - x) % FIELD
+            f_open = (r0 + r1 - y) % FIELD
+            net.send("party-a", "party-b", 2 * _SHARE_BYTES, phase="open")
+            net.send("party-b", "party-a", 2 * _SHARE_BYTES, phase="open")
+            prod0 = (z0 + e_open * y0 + f_open * x0) % FIELD
+            prod1 = (
+                z1 + e_open * y1 + f_open * x1 + e_open * f_open
+            ) % FIELD
+            # Reveal the product.
+            net.send("party-a", "party-b", _SHARE_BYTES, phase="reveal")
+            net.send("party-b", "party-a", _SHARE_BYTES, phase="reveal")
+            product = (prod0 + prod1) % FIELD
+            multiplications += 1
+            if product == 0:
+                matches += 1
+    elapsed = time.perf_counter() - started
+    return SMPCResult(
+        intersection=matches,
+        multiplications=multiplications,
+        total_bytes=net.total_bytes(),
+        elapsed_seconds=elapsed,
+        metadata={"sizes": (len(elements_a), len(elements_b))},
+    )

@@ -1,0 +1,35 @@
+"""Software package substrate: universes, closures, and the Table-2 stacks."""
+
+from repro.swinventory.packages import Package, PackageUniverse
+from repro.swinventory.stacks import (
+    CLOUDS,
+    PAPER_TABLE2_THREE_WAY,
+    PAPER_TABLE2_TWO_WAY,
+    REGION_SIZES,
+    STACKS,
+    all_stack_packages,
+    expected_jaccard,
+    software_records,
+    stack_of,
+    stack_packages,
+    verify_against_paper,
+)
+from repro.swinventory.universe import BASE_LIBRARIES, generate_universe
+
+__all__ = [
+    "BASE_LIBRARIES",
+    "CLOUDS",
+    "PAPER_TABLE2_THREE_WAY",
+    "PAPER_TABLE2_TWO_WAY",
+    "Package",
+    "PackageUniverse",
+    "REGION_SIZES",
+    "STACKS",
+    "all_stack_packages",
+    "expected_jaccard",
+    "generate_universe",
+    "software_records",
+    "stack_of",
+    "stack_packages",
+    "verify_against_paper",
+]

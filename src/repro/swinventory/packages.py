@@ -1,0 +1,126 @@
+"""Software package model with transitive dependency closure.
+
+``apt-rdepends`` recursively lists a package's dependencies; this module
+provides the same operation over an in-memory package universe.  Package
+identity is ``name@version`` — exactly the normalised identifier PIA uses
+for software components (§4.2.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import DependencyDataError
+
+__all__ = ["Package", "PackageUniverse"]
+
+
+@dataclass(frozen=True)
+class Package:
+    """A software package.
+
+    Attributes:
+        name: Package name (e.g. ``libc6``).
+        version: Version string (e.g. ``2.19-18``).
+        depends: Names of directly required packages.
+    """
+
+    name: str
+    version: str = "1.0"
+    depends: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DependencyDataError("package name must be non-empty")
+        if not self.version:
+            raise DependencyDataError(f"package {self.name!r} lacks a version")
+        if self.name in self.depends:
+            raise DependencyDataError(f"package {self.name!r} depends on itself")
+
+    @property
+    def identifier(self) -> str:
+        """The PIA-normalised identifier: ``name@version`` (§4.2.3)."""
+        return f"{self.name}@{self.version}"
+
+
+class PackageUniverse:
+    """A closed set of packages with dependency resolution.
+
+    >>> universe = PackageUniverse()
+    >>> universe.add(Package("app", "1.0", depends=("liba",)))
+    >>> universe.add(Package("liba", "2.0", depends=("libc",)))
+    >>> universe.add(Package("libc", "2.19"))
+    >>> sorted(universe.closure("app"))
+    ['liba', 'libc']
+    """
+
+    def __init__(self, packages: Optional[Iterable[Package]] = None) -> None:
+        self._packages: dict[str, Package] = {}
+        if packages:
+            for package in packages:
+                self.add(package)
+
+    def add(self, package: Package) -> None:
+        if package.name in self._packages:
+            raise DependencyDataError(f"duplicate package {package.name!r}")
+        self._packages[package.name] = package
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._packages
+
+    def __len__(self) -> int:
+        return len(self._packages)
+
+    def get(self, name: str) -> Package:
+        try:
+            return self._packages[name]
+        except KeyError:
+            raise DependencyDataError(f"unknown package {name!r}") from None
+
+    def names(self) -> list[str]:
+        return list(self._packages)
+
+    def packages(self) -> list[Package]:
+        return list(self._packages.values())
+
+    def validate(self) -> None:
+        """Every declared dependency must exist in the universe."""
+        for package in self._packages.values():
+            for dep in package.depends:
+                if dep not in self._packages:
+                    raise DependencyDataError(
+                        f"package {package.name!r} depends on unknown {dep!r}"
+                    )
+
+    def closure(self, name: str) -> frozenset[str]:
+        """Transitive dependencies of ``name`` (exclusive), apt-rdepends
+        style.  Cycles are tolerated (real package graphs have them)."""
+        root = self.get(name)
+        seen: set[str] = set()
+        queue = deque(root.depends)
+        while queue:
+            dep = queue.popleft()
+            if dep in seen:
+                continue
+            seen.add(dep)
+            queue.extend(
+                d for d in self.get(dep).depends if d not in seen
+            )
+        return frozenset(seen)
+
+    def closure_identifiers(self, name: str) -> frozenset[str]:
+        """Closure as normalised ``name@version`` identifiers."""
+        return frozenset(
+            self.get(dep).identifier for dep in self.closure(name)
+        )
+
+    def reverse_dependencies(self, name: str) -> frozenset[str]:
+        """Packages whose closure includes ``name`` — the blast radius of
+        a vulnerability in ``name`` (think Heartbleed/openssl)."""
+        self.get(name)
+        return frozenset(
+            p.name for p in self._packages.values()
+            if name in self.closure(p.name)
+        )

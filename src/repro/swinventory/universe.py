@@ -1,0 +1,106 @@
+"""Synthetic Debian-like package universe generator.
+
+Real software stacks share a heavy-tailed core: a handful of base
+libraries (libc, openssl, zlib, ...) appear in almost every closure while
+most packages are niche.  :func:`generate_universe` reproduces that shape
+with a layered random DAG so experiments can scale software dependency
+data to arbitrary sizes without shipping a real apt archive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DependencyDataError
+from repro.swinventory.packages import Package, PackageUniverse
+
+__all__ = ["generate_universe", "BASE_LIBRARIES"]
+
+#: Ubiquitous base libraries seeding layer 0 of every generated universe.
+BASE_LIBRARIES: tuple[tuple[str, str], ...] = (
+    ("libc6", "2.19-18"),
+    ("zlib1g", "1.2.8"),
+    ("libssl1.0.0", "1.0.1k"),
+    ("libstdc++6", "4.9.2"),
+    ("libgcc1", "4.9.2"),
+    ("libtinfo5", "5.9"),
+    ("libselinux1", "2.3"),
+    ("libpcre3", "8.35"),
+    ("liblzma5", "5.1.1"),
+    ("libbz2-1.0", "1.0.6"),
+)
+
+
+def generate_universe(
+    packages: int = 200,
+    layers: int = 4,
+    mean_deps: float = 3.0,
+    seed: Optional[int] = 0,
+    base: Sequence[tuple[str, str]] = BASE_LIBRARIES,
+) -> PackageUniverse:
+    """Generate a layered random package universe.
+
+    Args:
+        packages: Total package count (including the base libraries).
+        layers: Depth of the dependency DAG; a package in layer L only
+            depends on packages in layers < L, so the result is acyclic.
+        mean_deps: Average direct-dependency count (Poisson distributed).
+        seed: RNG seed; identical seeds generate identical universes.
+        base: (name, version) pairs seeding layer 0.
+
+    Returns:
+        A validated :class:`PackageUniverse`.  Layer-0 packages get a
+        popularity boost, so closures concentrate on them — like real
+        distributions where nearly everything pulls in libc.
+    """
+    if packages < len(base) + layers:
+        raise DependencyDataError(
+            f"need at least {len(base) + layers} packages, got {packages}"
+        )
+    if layers < 2:
+        raise DependencyDataError(f"need >= 2 layers, got {layers}")
+    rng = np.random.default_rng(seed)
+    universe = PackageUniverse()
+    layer_members: list[list[str]] = [[] for _ in range(layers)]
+    for name, version in base:
+        universe.add(Package(name, version))
+        layer_members[0].append(name)
+
+    remaining = packages - len(base)
+    # Distribute remaining packages over layers 1..layers-1, heavier on top.
+    weights = np.arange(1, layers, dtype=float)
+    weights /= weights.sum()
+    counts = rng.multinomial(remaining, weights)
+    # Guarantee every layer is non-empty.
+    for i in range(len(counts)):
+        if counts[i] == 0:
+            counts[i] += 1
+            counts[int(np.argmax(counts))] -= 1
+
+    serial = 0
+    for layer in range(1, layers):
+        candidates = [n for lower in layer_members[:layer] for n in lower]
+        popularity = np.array(
+            [10.0 if c in dict(base) else 1.0 for c in candidates]
+        )
+        popularity /= popularity.sum()
+        for _ in range(int(counts[layer - 1])):
+            serial += 1
+            name = f"lib-l{layer}-{serial:04d}"
+            version = f"{rng.integers(0, 5)}.{rng.integers(0, 20)}"
+            n_deps = min(len(candidates), max(1, int(rng.poisson(mean_deps))))
+            deps = rng.choice(
+                len(candidates), size=n_deps, replace=False, p=popularity
+            )
+            universe.add(
+                Package(
+                    name,
+                    version,
+                    depends=tuple(sorted(candidates[i] for i in deps)),
+                )
+            )
+            layer_members[layer].append(name)
+    universe.validate()
+    return universe

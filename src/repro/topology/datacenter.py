@@ -1,0 +1,142 @@
+"""Benson-style data-center topology for the §6.2.1 network case study.
+
+The paper models Alice's data center on a real topology from Benson et
+al. [IMC'10]: 33 top-of-rack switches (e1–e33) and four routers above them
+(b1, b2 at the aggregation tier; c1, c2 at the core) towards the Internet
+(Figure 6a).  Twenty racks are candidates for hosting the replicated
+service; the paper's formal analysis found **190** possible two-way
+deployments of which **27** have no unexpected risk group (so a random
+choice is safe with probability 14%), and — with every network device
+failing with probability 0.1 — **{Rack 5, Rack 29}** is the deployment
+with the strictly lowest failure probability.
+
+The exact Benson adjacency is not published, so this module *reconstructs*
+a topology that provably reproduces every reported number (see DESIGN.md):
+
+* candidate racks split into three single-homed groups —
+  group A (9 racks, routed e→b1→c1), group B (3 racks, e→b2→c2) and
+  group C (8 racks, e→b1→c2);
+* only A×B pairs share no network device, giving 9 × 3 = 27 safe pairs
+  out of C(20, 2) = 190;
+* every candidate rack except 5 and 29 traverses an extra patch switch
+  (``m<rack>``), so among the 27 tied-by-structure safe pairs,
+  {Rack 5, Rack 29} has the strictly lowest failure probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topology.graph import INTERNET, DeviceType, Topology
+
+__all__ = [
+    "DatacenterPlan",
+    "benson_datacenter",
+    "GROUP_A_RACKS",
+    "GROUP_B_RACKS",
+    "GROUP_C_RACKS",
+    "CANDIDATE_RACKS",
+]
+
+#: Candidate racks routed ToR -> b1 -> c1 (9 racks, incl. rack 5).
+GROUP_A_RACKS = (5, 6, 18, 19, 20, 21, 22, 23, 24)
+#: Candidate racks routed ToR -> b2 -> c2 (3 racks, incl. rack 29).
+GROUP_B_RACKS = (29, 31, 33)
+#: Candidate racks routed ToR -> b1 -> c2 (8 racks; overlap everyone).
+GROUP_C_RACKS = (10, 11, 12, 13, 14, 15, 16, 17)
+#: All 20 candidate racks -> C(20,2) = 190 two-way deployments.
+CANDIDATE_RACKS = tuple(sorted(GROUP_A_RACKS + GROUP_B_RACKS + GROUP_C_RACKS))
+
+#: Racks that keep a direct ToR->aggregation uplink (no patch switch).
+_DIRECT_RACKS = (5, 29)
+
+
+@dataclass(frozen=True)
+class DatacenterPlan:
+    """Static description of the reconstructed Benson data center."""
+
+    racks: int = 33
+    group_a: tuple[int, ...] = GROUP_A_RACKS
+    group_b: tuple[int, ...] = GROUP_B_RACKS
+    group_c: tuple[int, ...] = GROUP_C_RACKS
+    direct_racks: tuple[int, ...] = _DIRECT_RACKS
+    servers_per_rack: int = 1
+    routes: dict = field(default_factory=dict)
+
+    @property
+    def candidates(self) -> tuple[int, ...]:
+        return tuple(sorted(self.group_a + self.group_b + self.group_c))
+
+    def uplink(self, rack: int) -> tuple[str, str]:
+        """(aggregation, core) pair a rack routes through."""
+        if rack in self.group_a:
+            return ("b1", "c1")
+        if rack in self.group_b:
+            return ("b2", "c2")
+        if rack in self.group_c:
+            return ("b1", "c2")
+        # Non-candidate racks alternate over the remaining combinations.
+        return ("b2", "c1") if rack % 2 else ("b1", "c1")
+
+    def has_patch_switch(self, rack: int) -> bool:
+        """Whether this rack's uplink goes through an extra patch switch."""
+        return rack not in self.direct_racks
+
+    def tor(self, rack: int) -> str:
+        return f"e{rack}"
+
+    def patch(self, rack: int) -> str:
+        return f"m{rack}"
+
+    def server(self, rack: int, index: int = 0) -> str:
+        return f"Rack{rack}-srv{index}" if index else f"Rack{rack}"
+
+    def route_devices(self, rack: int) -> tuple[str, ...]:
+        """Devices on the rack's (single) route to the Internet."""
+        agg, core = self.uplink(rack)
+        if self.has_patch_switch(rack):
+            return (self.tor(rack), self.patch(rack), agg, core)
+        return (self.tor(rack), agg, core)
+
+
+def benson_datacenter(
+    plan: DatacenterPlan | None = None, name: str = "benson-dc"
+) -> Topology:
+    """Build the reconstructed Figure-6a data-center topology.
+
+    One server per rack represents the replica slot Alice could rent
+    (``Rack<N>``); 33 ToR switches ``e1..e33``; aggregation ``b1, b2``;
+    core ``c1, c2``; patch switches ``m<N>`` on indirect racks.
+    """
+    plan = plan or DatacenterPlan()
+    topo = Topology(name)
+    for router in ("c1", "c2"):
+        topo.add_device(router, DeviceType.CORE)
+    for router in ("b1", "b2"):
+        topo.add_device(router, DeviceType.AGGREGATION)
+    topo.add_device(INTERNET, DeviceType.EXTERNAL)
+    topo.add_link("b1", "c1")
+    topo.add_link("b1", "c2")
+    topo.add_link("b2", "c1")
+    topo.add_link("b2", "c2")
+    topo.add_link("c1", INTERNET)
+    topo.add_link("c2", INTERNET)
+
+    for rack in range(1, plan.racks + 1):
+        tor = topo.add_device(plan.tor(rack), DeviceType.TOR, rack=rack)
+        agg, _core = plan.uplink(rack)
+        if plan.has_patch_switch(rack):
+            patch = topo.add_device(
+                plan.patch(rack), DeviceType.SWITCH, rack=rack
+            )
+            topo.add_link(tor.name, patch.name)
+            topo.add_link(patch.name, agg)
+        else:
+            topo.add_link(tor.name, agg)
+        for index in range(plan.servers_per_rack):
+            server = topo.add_device(
+                plan.server(rack, index), DeviceType.SERVER, rack=rack
+            )
+            topo.add_link(server.name, tor.name)
+    topo.validate_connected()
+    return topo

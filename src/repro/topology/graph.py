@@ -1,0 +1,213 @@
+"""Physical topology model: devices and links.
+
+Topologies are the substrate the network dependency-acquisition module
+walks (our NSDMiner substitute).  A :class:`Topology` is an undirected
+multigraph of named :class:`Device` objects; parallel links are supported
+because redundant cabling matters for failure analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import networkx as nx
+
+from repro.errors import TopologyError
+
+__all__ = ["DeviceType", "Device", "Link", "Topology", "INTERNET"]
+
+#: Conventional name of the virtual node representing the outside world.
+INTERNET = "Internet"
+
+
+class DeviceType(enum.Enum):
+    """Role of a device within a data-center topology."""
+
+    SERVER = "server"
+    TOR = "tor"                  # top-of-rack / edge switch
+    AGGREGATION = "aggregation"
+    CORE = "core"
+    SWITCH = "switch"            # generic L2 switch
+    ROUTER = "router"
+    EXTERNAL = "external"        # e.g. the Internet
+
+
+@dataclass(frozen=True)
+class Device:
+    """A network element or host."""
+
+    name: str
+    type: DeviceType
+    rack: Optional[int] = None
+    pod: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("device name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected physical link; ``index`` disambiguates parallels."""
+
+    a: str
+    b: str
+    index: int = 0
+
+    @property
+    def name(self) -> str:
+        lo, hi = sorted((self.a, self.b))
+        return f"link:{lo}~{hi}#{self.index}"
+
+
+class Topology:
+    """Undirected multigraph of devices.
+
+    >>> topo = Topology("demo")
+    >>> _ = topo.add_device("s1", DeviceType.SERVER)
+    >>> _ = topo.add_device("tor1", DeviceType.TOR)
+    >>> _ = topo.add_link("s1", "tor1")
+    >>> topo.neighbors("s1")
+    ['tor1']
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._devices: dict[str, Device] = {}
+        self._adjacency: dict[str, dict[str, int]] = defaultdict(dict)
+        self._links: list[Link] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_device(
+        self,
+        name: str,
+        type: DeviceType,
+        rack: Optional[int] = None,
+        pod: Optional[int] = None,
+    ) -> Device:
+        if name in self._devices:
+            raise TopologyError(f"duplicate device {name!r}")
+        device = Device(name=name, type=type, rack=rack, pod=pod)
+        self._devices[name] = device
+        return device
+
+    def add_link(self, a: str, b: str, count: int = 1) -> list[Link]:
+        """Connect two devices with ``count`` parallel links."""
+        if a == b:
+            raise TopologyError(f"self-link on {a!r}")
+        for end in (a, b):
+            if end not in self._devices:
+                raise TopologyError(f"unknown device {end!r}")
+        if count < 1:
+            raise TopologyError(f"link count must be >= 1, got {count}")
+        existing = self._adjacency[a].get(b, 0)
+        links = [Link(a, b, index=existing + i) for i in range(count)]
+        self._adjacency[a][b] = existing + count
+        self._adjacency[b][a] = existing + count
+        self._links.extend(links)
+        return links
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    def device(self, name: str) -> Device:
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise TopologyError(f"unknown device {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._devices
+
+    def devices(self, type: Optional[DeviceType] = None) -> list[Device]:
+        if type is None:
+            return list(self._devices.values())
+        return [d for d in self._devices.values() if d.type is type]
+
+    def device_names(self, type: Optional[DeviceType] = None) -> list[str]:
+        return [d.name for d in self.devices(type)]
+
+    def servers(self) -> list[Device]:
+        return self.devices(DeviceType.SERVER)
+
+    def neighbors(self, name: str) -> list[str]:
+        self.device(name)
+        return list(self._adjacency[name])
+
+    def link_count(self, a: str, b: str) -> int:
+        """Number of parallel links between two devices (0 if none)."""
+        self.device(a)
+        self.device(b)
+        return self._adjacency[a].get(b, 0)
+
+    def links(self) -> list[Link]:
+        return list(self._links)
+
+    def links_between(self, a: str, b: str) -> list[Link]:
+        return [
+            l
+            for l in self._links
+            if {l.a, l.b} == {a, b}
+        ]
+
+    def counts(self) -> dict[str, int]:
+        """Device census by role — the rows of Table 3."""
+        out: dict[str, int] = {}
+        for device in self._devices.values():
+            out[device.type.value] = out.get(device.type.value, 0) + 1
+        out["total"] = sum(
+            v for k, v in out.items() if k != DeviceType.EXTERNAL.value
+        )
+        return out
+
+    def switching_devices(self) -> list[Device]:
+        """All non-server, non-external devices (switches/routers)."""
+        exclude = {DeviceType.SERVER, DeviceType.EXTERNAL}
+        return [d for d in self._devices.values() if d.type not in exclude]
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology({self.name!r}, devices={len(self)}, links={len(self._links)})"
+
+    # ------------------------------------------------------------------ #
+    # Interop
+    # ------------------------------------------------------------------ #
+
+    def to_networkx(self, multigraph: bool = False) -> nx.Graph:
+        """Export for path algorithms; parallel links collapse unless
+        ``multigraph`` is requested."""
+        graph: nx.Graph = nx.MultiGraph() if multigraph else nx.Graph()
+        graph.name = self.name
+        for device in self._devices.values():
+            graph.add_node(device.name, type=device.type.value)
+        if multigraph:
+            for link in self._links:
+                graph.add_edge(link.a, link.b, key=link.index)
+        else:
+            for a, nbrs in self._adjacency.items():
+                for b in nbrs:
+                    graph.add_edge(a, b)
+        return graph
+
+    def validate_connected(self, among: Optional[Iterable[str]] = None) -> None:
+        """Raise unless the given devices (default: all) are mutually
+        reachable — catches generator bugs early."""
+        graph = self.to_networkx()
+        nodes = list(among) if among is not None else list(graph.nodes)
+        if not nodes:
+            return
+        component = nx.node_connected_component(graph, nodes[0])
+        unreachable = [n for n in nodes if n not in component]
+        if unreachable:
+            raise TopologyError(
+                f"devices not connected: {sorted(unreachable)[:5]}"
+            )

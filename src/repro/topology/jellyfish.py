@@ -1,0 +1,97 @@
+"""Jellyfish topology generator (random regular switch graph).
+
+Fat trees are one end of the data-center design space; Jellyfish
+[Singla et al., NSDI'12] — a random r-regular graph of top-of-rack
+switches — is the standard unstructured counterpart.  Auditing both
+shows INDaaS's algorithms do not depend on fat-tree regularity: risk
+groups in a Jellyfish fabric are far less predictable, which is exactly
+when proactive auditing earns its keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.topology.graph import INTERNET, DeviceType, Topology
+
+__all__ = ["JellyfishConfig", "jellyfish"]
+
+
+@dataclass(frozen=True)
+class JellyfishConfig:
+    """Parameters of a Jellyfish fabric.
+
+    Attributes:
+        switches: Number of ToR switches (nodes of the random graph).
+        degree: Inter-switch links per switch (r in r-regular).
+        servers_per_switch: Hosts hanging off each ToR.
+        gateways: How many switches uplink to the Internet.
+        seed: RNG seed for the random regular graph.
+    """
+
+    switches: int = 16
+    degree: int = 4
+    servers_per_switch: int = 2
+    gateways: int = 2
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.switches < 3:
+            raise TopologyError("need at least 3 switches")
+        if not 2 <= self.degree < self.switches:
+            raise TopologyError(
+                f"degree must be in 2..{self.switches - 1}, got {self.degree}"
+            )
+        if (self.switches * self.degree) % 2:
+            raise TopologyError(
+                "switches * degree must be even for a regular graph"
+            )
+        if self.servers_per_switch < 1:
+            raise TopologyError("need at least one server per switch")
+        if not 1 <= self.gateways <= self.switches:
+            raise TopologyError(
+                f"gateways must be in 1..{self.switches}, got {self.gateways}"
+            )
+
+
+def jellyfish(config: JellyfishConfig, name: str = "") -> Topology:
+    """Generate a Jellyfish :class:`Topology`.
+
+    Switches are ``jf-sw{i}``, servers ``jf-srv{i}-{j}``; the first
+    ``gateways`` switches carry the Internet uplinks.  The random graph
+    is redrawn (bounded retries) until connected, so audits always have
+    routes to work with.
+    """
+    random_graph = None
+    for attempt in range(20):
+        seed = None if config.seed is None else config.seed + attempt
+        candidate = nx.random_regular_graph(
+            config.degree, config.switches, seed=seed
+        )
+        if nx.is_connected(candidate):
+            random_graph = candidate
+            break
+    if random_graph is None:
+        raise TopologyError(
+            "could not draw a connected regular graph; raise the degree"
+        )
+    topo = Topology(name or f"jellyfish-{config.switches}x{config.degree}")
+    for i in range(config.switches):
+        topo.add_device(f"jf-sw{i}", DeviceType.TOR, rack=i)
+    for a, b in sorted(random_graph.edges()):
+        topo.add_link(f"jf-sw{a}", f"jf-sw{b}")
+    topo.add_device(INTERNET, DeviceType.EXTERNAL)
+    for i in range(config.gateways):
+        topo.add_link(f"jf-sw{i}", INTERNET)
+    for i in range(config.switches):
+        for j in range(config.servers_per_switch):
+            server = topo.add_device(
+                f"jf-srv{i}-{j}", DeviceType.SERVER, rack=i
+            )
+            topo.add_link(server.name, f"jf-sw{i}")
+    topo.validate_connected()
+    return topo

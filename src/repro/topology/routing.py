@@ -1,0 +1,152 @@
+"""Route enumeration over topologies.
+
+Dependency acquisition (the NSDMiner substitute) needs, for each server,
+the set of redundant routes to its destinations.  Real deployments learn
+these from traffic; we enumerate them from the topology:
+
+* :func:`shortest_routes` — all equal-cost shortest paths (ECMP), the
+  right model for fat trees and the lab cloud;
+* :func:`fat_tree_routes` — closed-form enumeration for fat trees, which
+  avoids NetworkX path search on 30k-device graphs.
+
+Routes are returned as tuples of *intermediate* device names (endpoints
+excluded), matching the Table-1 ``route="x,y,z"`` convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import networkx as nx
+
+from repro.errors import RoutingError
+from repro.topology.fattree import FatTreeConfig
+from repro.topology.graph import INTERNET, DeviceType, Topology
+
+__all__ = ["shortest_routes", "fat_tree_routes", "route_devices"]
+
+
+def shortest_routes(
+    topology: Topology,
+    src: str,
+    dst: str = INTERNET,
+    max_routes: Optional[int] = None,
+) -> list[tuple[str, ...]]:
+    """All equal-cost shortest routes between two devices.
+
+    Args:
+        max_routes: Optional cap; enumeration stops once reached (ECMP
+            implementations bound their fan-out the same way).
+
+    Returns:
+        Routes as tuples of intermediate device names, deterministically
+        ordered.
+
+    Raises:
+        RoutingError: If no path exists.
+    """
+    graph = topology.to_networkx()
+    for end in (src, dst):
+        if end not in graph:
+            raise RoutingError(f"unknown device {end!r}")
+    try:
+        paths: Iterator[list[str]] = nx.all_shortest_paths(graph, src, dst)
+        routes = []
+        for path in paths:
+            routes.append(tuple(path[1:-1]))
+            if max_routes is not None and len(routes) >= max_routes:
+                break
+    except nx.NetworkXNoPath:
+        raise RoutingError(f"no route from {src!r} to {dst!r}") from None
+    return sorted(routes)
+
+
+def fat_tree_routes(
+    config: FatTreeConfig,
+    server: str,
+    dst: str = INTERNET,
+    max_routes: Optional[int] = None,
+) -> list[tuple[str, ...]]:
+    """Closed-form ECMP routes for fat-tree servers.
+
+    For ``srv-p{p}-t{t}-{s}`` to the Internet the routes are
+    ``(tor, agg_a, core-a-j)`` for every aggregation switch ``a`` in the
+    pod and every core ``j`` in group ``a`` — ``(k/2)^2`` routes total.
+    Cross-server routes traverse ``(tor, agg, core, agg', tor')``.
+    """
+    half = config.ports // 2
+    pod, tor_idx = _parse_server(server)
+    tor = f"pod{pod}-tor{tor_idx}"
+    routes: list[tuple[str, ...]] = []
+    if dst == INTERNET:
+        for a in range(half):
+            agg = f"pod{pod}-agg{a}"
+            for j in range(half):
+                routes.append((tor, agg, f"core-{a}-{j}"))
+                if max_routes is not None and len(routes) >= max_routes:
+                    return sorted(routes)
+        return sorted(routes)
+    dpod, dtor_idx = _parse_server(dst)
+    dtor = f"pod{dpod}-tor{dtor_idx}"
+    if dpod == pod:
+        if dtor_idx == tor_idx:
+            return [(tor,)]
+        for a in range(half):
+            routes.append((tor, f"pod{pod}-agg{a}", dtor))
+            if max_routes is not None and len(routes) >= max_routes:
+                return sorted(routes)
+        return sorted(routes)
+    for a in range(half):
+        for j in range(half):
+            routes.append(
+                (
+                    tor,
+                    f"pod{pod}-agg{a}",
+                    f"core-{a}-{j}",
+                    f"pod{dpod}-agg{a}",
+                    dtor,
+                )
+            )
+            if max_routes is not None and len(routes) >= max_routes:
+                return sorted(routes)
+    return sorted(routes)
+
+
+def _parse_server(name: str) -> tuple[int, int]:
+    """Extract (pod, tor) indices from a fat-tree server/ToR name."""
+    try:
+        if name.startswith("srv-p"):
+            body = name[len("srv-p"):]
+            pod_s, tor_s, _ = body.split("-")
+            return int(pod_s), int(tor_s[1:])
+        if name.startswith("pod") and "-tor" in name:
+            pod_s, tor_s = name.split("-tor")
+            return int(pod_s[3:]), int(tor_s)
+    except (ValueError, IndexError):
+        pass
+    raise RoutingError(f"not a fat-tree server or ToR name: {name!r}")
+
+
+def route_devices(
+    topology: Topology, routes: list[tuple[str, ...]]
+) -> frozenset[str]:
+    """Union of devices used by a route collection (with validation)."""
+    devices: set[str] = set()
+    for route in routes:
+        for hop in route:
+            topology.device(hop)
+            devices.add(hop)
+    return frozenset(devices)
+
+
+def internet_facing_servers(topology: Topology) -> list[str]:
+    """Servers that can reach the Internet node, sorted by name."""
+    graph = topology.to_networkx()
+    if INTERNET not in graph:
+        return []
+    reachable = nx.node_connected_component(graph, INTERNET)
+    return sorted(
+        d.name
+        for d in topology.devices(DeviceType.SERVER)
+        if d.name in reachable
+    )

@@ -1,0 +1,79 @@
+"""The Figure-2 sample distributed storage system.
+
+Three servers S1–S3 behind two ToR switches, two core routers, and the
+Internet; S1/S2 run a Query Engine and a Riak replica.  This is the
+paper's running example (its collected dependency data is Figure 3, its
+fault graph is Figure 4c), so the tests use it as a known-answer fixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topology.graph import INTERNET, DeviceType, Topology
+
+__all__ = ["StorageSamplePlan", "storage_sample"]
+
+#: Software running on the sample servers (program -> package deps),
+#: exactly as printed in Figure 3.
+SAMPLE_SOFTWARE: dict[str, dict[str, tuple[str, ...]]] = {
+    "S1": {
+        "QueryEngine1": ("libc6", "libgcc1"),
+        "Riak1": ("libc6", "libsvn1"),
+    },
+    "S2": {
+        "QueryEngine2": ("libc6", "libgcc1"),
+        "Riak2": ("libc6", "libsvn1"),
+    },
+    "S3": {},
+}
+
+#: Hardware per server, as printed in Figure 3 (model ids embed the server
+#: name, so hardware is *not* shared in this example).
+SAMPLE_HARDWARE: dict[str, tuple[tuple[str, str], ...]] = {
+    "S1": (("CPU", "S1-Intel(R)X5550@2.6GHz"), ("Disk", "S1-SED900")),
+    "S2": (("CPU", "S2-Intel(R)X5550@2.6GHz"), ("Disk", "S2-SED900")),
+    "S3": (("CPU", "S3-Intel(R)X5550@2.6GHz"), ("Disk", "S3-SED900")),
+}
+
+
+@dataclass(frozen=True)
+class StorageSamplePlan:
+    """Static description of the Figure-2 system."""
+
+    servers: tuple[str, ...] = ("S1", "S2", "S3")
+    software: dict = field(default_factory=lambda: dict(SAMPLE_SOFTWARE))
+    hardware: dict = field(default_factory=lambda: dict(SAMPLE_HARDWARE))
+
+    def tor_of(self, server: str) -> str:
+        """S1 and S2 share ToR1; S3 sits behind ToR2."""
+        return "ToR1" if server in ("S1", "S2") else "ToR2"
+
+    def routes(self, server: str) -> tuple[tuple[str, ...], ...]:
+        """Two redundant routes to the Internet, one per core router
+        (Figure 3's network dependency lines)."""
+        tor = self.tor_of(server)
+        return ((tor, "Core1"), (tor, "Core2"))
+
+
+def storage_sample(
+    plan: StorageSamplePlan | None = None, name: str = "storage-sample"
+) -> Topology:
+    """Build the Figure-2 topology."""
+    plan = plan or StorageSamplePlan()
+    topo = Topology(name)
+    topo.add_device("Core1", DeviceType.CORE)
+    topo.add_device("Core2", DeviceType.CORE)
+    topo.add_device("ToR1", DeviceType.TOR)
+    topo.add_device("ToR2", DeviceType.TOR)
+    topo.add_device(INTERNET, DeviceType.EXTERNAL)
+    for tor in ("ToR1", "ToR2"):
+        topo.add_link(tor, "Core1")
+        topo.add_link(tor, "Core2")
+    topo.add_link("Core1", INTERNET)
+    topo.add_link("Core2", INTERNET)
+    for server in plan.servers:
+        topo.add_device(server, DeviceType.SERVER)
+        topo.add_link(server, plan.tor_of(server))
+    topo.validate_connected()
+    return topo

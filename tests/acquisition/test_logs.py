@@ -1,0 +1,107 @@
+"""Unit tests for console-log mining (§5.1 extension)."""
+
+import pytest
+
+from repro.acquisition import LogMiningCollector, generate_logs
+from repro.depdb import DepDB, NetworkDependency, SoftwareDependency
+from repro.errors import AcquisitionError
+
+HOSTS = {"frontend": "S1", "authdb": "S2", "cache": "S3"}
+
+
+class TestGenerateLogs:
+    def test_counts_match(self):
+        lines = generate_logs(
+            {("frontend", "authdb"): 5},
+            {("frontend", "libssl@1.0.1"): 3},
+            noise_lines=4,
+            seed=0,
+        )
+        assert len(lines) == 12
+
+    def test_deterministic(self):
+        a = generate_logs({("x", "y"): 2}, {}, seed=1)
+        assert a == generate_logs({("x", "y"): 2}, {}, seed=1)
+
+
+class TestLogMiningCollector:
+    def make_lines(self):
+        return generate_logs(
+            {("frontend", "authdb"): 6, ("frontend", "cache"): 1},
+            {("frontend", "libssl@1.0.1"): 4, ("authdb", "libc6@2.19"): 2},
+            noise_lines=8,
+            seed=2,
+        )
+
+    def test_supported_edges_collected(self):
+        collector = LogMiningCollector(
+            self.make_lines(), host_of=HOSTS, min_support=2
+        )
+        records = collector.collect()
+        network = [r for r in records if isinstance(r, NetworkDependency)]
+        software = [r for r in records if isinstance(r, SoftwareDependency)]
+        assert any(
+            r.src == "S1" and r.route == ("authdb",) for r in network
+        )
+        assert any(
+            r.pgm == "frontend" and "libssl@1.0.1" in r.dep for r in software
+        )
+
+    def test_low_support_edges_filtered(self):
+        collector = LogMiningCollector(
+            self.make_lines(), host_of=HOSTS, min_support=2
+        )
+        records = collector.collect()
+        # frontend->cache appeared once: below the support threshold.
+        assert not any(
+            isinstance(r, NetworkDependency) and r.route == ("cache",)
+            for r in records
+        )
+
+    def test_failed_calls_can_be_excluded(self):
+        lines = [
+            "t INFO svc=a call dst=b status=error",
+            "t INFO svc=a call dst=b status=error",
+        ]
+        strict = LogMiningCollector(
+            lines, host_of={"a": "H1", "b": "H2"},
+            min_support=1, include_failed_calls=False,
+        )
+        with pytest.raises(AcquisitionError, match="min_support"):
+            strict.collect()
+        lenient = LogMiningCollector(
+            lines, host_of={"a": "H1", "b": "H2"}, min_support=1
+        )
+        assert lenient.collect()
+
+    def test_noise_is_ignored(self):
+        collector = LogMiningCollector(
+            ["garbage line", "t INFO svc=a call dst=b status=ok"] * 2,
+            host_of={"a": "H1", "b": "H2"},
+            min_support=1,
+        )
+        calls, packages = collector.mine()
+        assert calls == {("a", "b"): 2}
+        assert not packages
+
+    def test_unknown_service_host(self):
+        collector = LogMiningCollector(
+            ["t INFO svc=ghost call dst=b status=ok"] * 2,
+            host_of={"b": "H2"},
+            min_support=1,
+        )
+        with pytest.raises(AcquisitionError, match="no host mapping"):
+            collector.collect()
+
+    def test_collect_into_depdb(self):
+        db = DepDB()
+        LogMiningCollector(
+            self.make_lines(), host_of=HOSTS, min_support=2
+        ).collect_into(db)
+        assert db.network_paths("S1")
+
+    def test_validation(self):
+        with pytest.raises(AcquisitionError):
+            LogMiningCollector([], host_of={})
+        with pytest.raises(AcquisitionError):
+            LogMiningCollector(["x"], host_of={}, min_support=0)

@@ -1,0 +1,72 @@
+"""Unit tests for the software package collector (apt-rdepends substitute)."""
+
+import pytest
+
+from repro.acquisition import SoftwarePackageCollector
+from repro.depdb import DepDB
+from repro.errors import AcquisitionError
+from repro.swinventory import Package, PackageUniverse
+
+
+@pytest.fixture
+def universe() -> PackageUniverse:
+    return PackageUniverse(
+        [
+            Package("riak", "2.0", depends=("erlang", "libc6")),
+            Package("erlang", "17.0", depends=("libc6", "ncurses")),
+            Package("libc6", "2.19"),
+            Package("ncurses", "5.9"),
+            Package("standalone", "1.0"),
+        ]
+    )
+
+
+class TestSoftwareCollector:
+    def test_transitive_closure_collected(self, universe):
+        collector = SoftwarePackageCollector(
+            universe, {"S1": ["riak"]}, use_identifiers=False
+        )
+        records = collector.collect()
+        assert len(records) == 1
+        assert set(records[0].dep) == {"erlang", "libc6", "ncurses"}
+
+    def test_identifiers_mode(self, universe):
+        records = SoftwarePackageCollector(
+            universe, {"S1": ["riak"]}
+        ).collect()
+        assert "libc6@2.19" in records[0].dep
+        assert "erlang@17.0" in records[0].dep
+
+    def test_dependency_free_program_lists_itself(self, universe):
+        records = SoftwarePackageCollector(
+            universe, {"S1": ["standalone"]}
+        ).collect()
+        assert records[0].dep == ("standalone@1.0",)
+
+    def test_multiple_servers_and_programs(self, universe):
+        collector = SoftwarePackageCollector(
+            universe, {"S1": ["riak"], "S2": ["erlang", "standalone"]}
+        )
+        records = collector.collect()
+        assert {(r.hw, r.pgm) for r in records} == {
+            ("S1", "riak"),
+            ("S2", "erlang"),
+            ("S2", "standalone"),
+        }
+
+    def test_unknown_program_rejected(self, universe):
+        with pytest.raises(AcquisitionError, match="not in"):
+            SoftwarePackageCollector(universe, {"S1": ["ghost"]})
+
+    def test_empty_program_list_rejected(self, universe):
+        with pytest.raises(AcquisitionError):
+            SoftwarePackageCollector(universe, {"S1": []})
+
+    def test_no_servers_rejected(self, universe):
+        with pytest.raises(AcquisitionError):
+            SoftwarePackageCollector(universe, {})
+
+    def test_collect_into_depdb(self, universe):
+        db = DepDB()
+        SoftwarePackageCollector(universe, {"S1": ["riak"]}).collect_into(db)
+        assert db.software_on("S1", programs=["riak"])

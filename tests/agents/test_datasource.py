@@ -1,0 +1,96 @@
+"""Unit tests for the data source role."""
+
+import pytest
+
+from repro.acquisition import (
+    HardwareInventoryCollector,
+    NetworkDependencyCollector,
+)
+from repro.agents import DataSource, DependencyDataRequest
+from repro.errors import AcquisitionError
+from repro.topology import lab_cloud
+from repro.topology.lab import LAB_HARDWARE
+
+
+@pytest.fixture
+def source() -> DataSource:
+    topo = lab_cloud()
+    return DataSource(
+        "lab",
+        modules=[
+            NetworkDependencyCollector(topo, servers=["Server1", "Server2"]),
+            HardwareInventoryCollector(
+                LAB_HARDWARE, servers=["Server1", "Server2"]
+            ),
+        ],
+    )
+
+
+class TestCollect:
+    def test_collect_fills_depdb(self, source):
+        counts = source.collect()
+        assert sum(counts.values()) > 0
+        assert source.depdb.counts()["network"] == 4
+
+    def test_collect_idempotent(self, source):
+        source.collect()
+        assert source.collect() == {}  # cached
+
+    def test_no_modules_rejected(self):
+        with pytest.raises(AcquisitionError, match="no acquisition modules"):
+            DataSource("empty").collect()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(AcquisitionError):
+            DataSource("")
+
+
+class TestHandle:
+    def test_serves_requested_types_only(self, source):
+        response = source.handle(
+            DependencyDataRequest(
+                source="lab", dependency_types=("network",)
+            )
+        )
+        assert response.record_count == 4
+        assert "<src=" in response.payload
+        assert "<hw=" not in response.payload
+
+    def test_server_filter(self, source):
+        response = source.handle(
+            DependencyDataRequest(
+                source="lab",
+                dependency_types=("network", "hardware"),
+                servers=("Server1",),
+            )
+        )
+        assert "Server2" not in response.payload
+
+    def test_wrong_source_rejected(self, source):
+        with pytest.raises(AcquisitionError, match="reached"):
+            source.handle(
+                DependencyDataRequest(
+                    source="other", dependency_types=("network",)
+                )
+            )
+
+    def test_payload_round_trips(self, source):
+        from repro.depdb import DepDB
+
+        response = source.handle(
+            DependencyDataRequest(
+                source="lab", dependency_types=("network", "hardware")
+            )
+        )
+        clone = DepDB.loads(response.payload)
+        assert len(clone) == response.record_count
+
+
+class TestProviderView:
+    def test_component_set(self, source):
+        components = source.component_set()
+        assert "Switch1" in components
+
+    def test_hardware_kinds(self, source):
+        components = source.component_set(include_kinds=("hardware",))
+        assert "SED900" in components

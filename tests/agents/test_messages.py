@@ -1,0 +1,52 @@
+"""Unit tests for workflow messages."""
+
+import json
+
+import pytest
+
+from repro.agents import AuditRequest, AuditResponse
+from repro.errors import SpecificationError
+
+
+class TestAuditRequest:
+    def valid(self, **overrides):
+        kwargs = dict(
+            client="alice",
+            data_sources=("dc1",),
+            deployments=(("S1", "S2"),),
+        )
+        kwargs.update(overrides)
+        return AuditRequest(**kwargs)
+
+    def test_valid_request(self):
+        request = self.valid()
+        assert request.mode == "sia"
+        assert request.metric == "size"
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"client": ""},
+            {"data_sources": ()},
+            {"deployments": ()},
+            {"mode": "magic"},
+            {"metric": "vibes"},
+            {"dependency_types": ("quantum",)},
+        ],
+    )
+    def test_invalid_requests(self, overrides):
+        with pytest.raises(SpecificationError):
+            self.valid(**overrides)
+
+    def test_json_serialisable(self):
+        payload = json.loads(self.valid().to_json())
+        assert payload["client"] == "alice"
+        assert payload["deployments"] == [["S1", "S2"]]
+
+
+class TestAuditResponse:
+    def test_report_dict(self):
+        response = AuditResponse(
+            client="alice", report_json='{"x": 1}', mode="sia"
+        )
+        assert response.report_dict() == {"x": 1}

@@ -1,0 +1,97 @@
+"""Integration tests: the three §6.2 case studies reproduce the paper."""
+
+import pytest
+
+from repro.analysis import (
+    hardware_case_study,
+    network_case_study,
+    software_case_study,
+)
+
+
+@pytest.fixture(scope="module")
+def network_result():
+    # 20k rounds suffice for the tiny per-pair graphs; the paper used 1e6.
+    return network_case_study(sampling_rounds=20_000)
+
+
+@pytest.fixture(scope="module")
+def hardware_result():
+    return hardware_case_study()
+
+
+class TestNetworkCaseStudy:
+    def test_190_candidate_deployments(self, network_result):
+        assert network_result.formal.total == 190
+
+    def test_27_safe_deployments(self, network_result):
+        assert len(network_result.formal.safe) == 27
+
+    def test_random_pick_safety_is_14_percent(self, network_result):
+        assert network_result.formal.safe_fraction == pytest.approx(
+            27 / 190, abs=1e-9
+        )
+
+    def test_best_pair_is_rack5_rack29(self, network_result):
+        assert network_result.best_deployment == "Rack5 & Rack29"
+
+    def test_formal_probability_confirms_best(self, network_result):
+        best = network_result.formal.lowest_failure_probability()
+        assert best.name == "Rack5 & Rack29"
+        assert best.is_safe
+
+    def test_matches_paper_flag(self, network_result):
+        assert network_result.matches_paper
+
+
+class TestHardwareCaseStudy:
+    def test_riak_vms_colocated_on_server2(self, hardware_result):
+        assert hardware_result.placements["VM7"] == "Server2"
+        assert hardware_result.placements["VM8"] == "Server2"
+
+    def test_top_rgs_match_paper(self, hardware_result):
+        assert set(hardware_result.measured_top_rgs) == set(
+            hardware_result.paper_top_rgs
+        )
+
+    def test_server2_is_a_singleton_rg(self, hardware_result):
+        singletons = [
+            e.events
+            for e in hardware_result.riak_audit.ranking
+            if e.size == 1
+        ]
+        assert frozenset({"hw:Server2"}) in singletons
+
+    def test_recommendation_is_server2_server3(self, hardware_result):
+        assert hardware_result.recommended_pair == "Server2 & Server3"
+
+    def test_only_one_safe_pair(self, hardware_result):
+        safe = hardware_result.redeployment_report
+        assert [
+            a.deployment for a in safe.deployments_without_unexpected_rgs()
+        ] == ["Server2 & Server3"]
+
+    def test_matches_paper_flag(self, hardware_result):
+        assert hardware_result.matches_paper
+
+
+class TestSoftwareCaseStudy:
+    def test_plaintext_reference_rankings(self):
+        two_way, three_way = software_case_study(protocol="plaintext")
+        assert two_way.entries[0].deployment == ("Cloud2", "Cloud4")
+        assert two_way.entries[-1].deployment == ("Cloud1", "Cloud2")
+        assert three_way.entries[0].deployment == (
+            "Cloud2",
+            "Cloud3",
+            "Cloud4",
+        )
+        assert len(two_way.entries) == 6
+        assert len(three_way.entries) == 4
+
+    def test_jaccard_values_close_to_table_2(self):
+        from repro.swinventory import PAPER_TABLE2_TWO_WAY
+
+        two_way, _ = software_case_study(protocol="plaintext")
+        for entry in two_way.entries:
+            paper = PAPER_TABLE2_TWO_WAY[tuple(entry.deployment)]
+            assert entry.jaccard == pytest.approx(paper, abs=0.01)

@@ -1,0 +1,117 @@
+"""Unit tests for what-if mitigation analysis."""
+
+import pytest
+
+from repro import ComponentSets, minimal_risk_groups
+from repro.analysis.whatif import Duplicate, Harden, evaluate_mitigations
+from repro.core.bdd import compile_graph
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def weighted_graph():
+    """Two sources sharing one switch; everything fails with p=0.1."""
+    sets = ComponentSets.from_mapping(
+        {"S1": ["tor1", "shared-agg"], "S2": ["tor2", "shared-agg"]}
+    )
+    return sets.to_fault_graph().map_probabilities(lambda e: 0.1)
+
+
+class TestHarden:
+    def test_reduces_probability(self, weighted_graph):
+        mitigated = Harden("shared-agg", 0.01).apply(weighted_graph)
+        assert mitigated.probability_of("shared-agg") == 0.01
+        # Input untouched.
+        assert weighted_graph.probability_of("shared-agg") == 0.1
+
+    def test_cannot_raise_probability(self, weighted_graph):
+        with pytest.raises(AnalysisError, match="must not raise"):
+            Harden("shared-agg", 0.5).apply(weighted_graph)
+
+    def test_unknown_component(self, weighted_graph):
+        with pytest.raises(AnalysisError):
+            Harden("ghost", 0.01).apply(weighted_graph)
+
+    def test_gate_rejected(self, weighted_graph):
+        with pytest.raises(AnalysisError, match="gate"):
+            Harden("S1", 0.01).apply(weighted_graph)
+
+
+class TestDuplicate:
+    def test_removes_singleton_risk_group(self, weighted_graph):
+        before = minimal_risk_groups(weighted_graph)
+        assert frozenset({"shared-agg"}) in before
+        mitigated = Duplicate("shared-agg").apply(weighted_graph)
+        after = minimal_risk_groups(mitigated)
+        assert frozenset({"shared-agg"}) not in after
+        assert frozenset(
+            {"shared-agg#primary", "shared-agg#replica"}
+        ) in after
+
+    def test_probability_drops(self, weighted_graph):
+        probs_before = weighted_graph.probabilities()
+        before = compile_graph(weighted_graph).probability(probs_before)
+        mitigated = Duplicate("shared-agg").apply(weighted_graph)
+        after = compile_graph(mitigated).probability(
+            mitigated.probabilities()
+        )
+        assert after < before
+
+    def test_custom_replica_probability(self, weighted_graph):
+        mitigated = Duplicate(
+            "shared-agg", replica_probability=0.02
+        ).apply(weighted_graph)
+        assert mitigated.probability_of("shared-agg#replica") == 0.02
+
+    def test_duplicate_the_top_leaf(self):
+        from repro import FaultGraph
+
+        g = FaultGraph()
+        g.add_basic_event("only", probability=0.3)
+        g.set_top("only")
+        mitigated = Duplicate("only").apply(g)
+        assert mitigated.top == "only#pair"
+        assert compile_graph(mitigated).probability(
+            mitigated.probabilities()
+        ) == pytest.approx(0.09)
+
+    def test_gate_rejected(self, weighted_graph):
+        with pytest.raises(AnalysisError):
+            Duplicate("S1").apply(weighted_graph)
+
+
+class TestEvaluateMitigations:
+    def test_ranked_by_resulting_probability(self, weighted_graph):
+        outcomes = evaluate_mitigations(
+            weighted_graph,
+            [
+                Harden("tor1", 0.01),            # minor: tor1 is redundant
+                Duplicate("shared-agg"),         # major: kills the SPOF
+                Harden("shared-agg", 0.05),      # middling
+            ],
+        )
+        assert outcomes[0].mitigation.describe() == "duplicate shared-agg"
+        probabilities = [o.probability_after for o in outcomes]
+        assert probabilities == sorted(probabilities)
+
+    def test_unexpected_rg_counts(self, weighted_graph):
+        (outcome,) = evaluate_mitigations(
+            weighted_graph, [Duplicate("shared-agg")]
+        )
+        assert outcome.unexpected_before == 1
+        assert outcome.unexpected_after == 0
+        assert outcome.absolute_reduction > 0
+        assert 0 < outcome.relative_reduction < 1
+        assert "duplicate" in outcome.describe()
+
+    def test_empty_mitigations_rejected(self, weighted_graph):
+        with pytest.raises(AnalysisError):
+            evaluate_mitigations(weighted_graph, [])
+
+    def test_graph_never_mutated(self, weighted_graph):
+        before = weighted_graph.stats()
+        evaluate_mitigations(
+            weighted_graph,
+            [Duplicate("shared-agg"), Harden("tor1", 0.01)],
+        )
+        assert weighted_graph.stats() == before

@@ -1,0 +1,43 @@
+"""Unit tests for redundancy deployments."""
+
+import pytest
+
+from repro.cloud import RedundancyDeployment, enumerate_deployments
+from repro.errors import SpecificationError
+
+
+class TestRedundancyDeployment:
+    def test_name_and_ways(self):
+        deployment = RedundancyDeployment(("A", "B", "C"), required=2)
+        assert deployment.name == "A & B & C"
+        assert deployment.ways == 3
+        assert str(deployment) == deployment.name
+
+    @pytest.mark.parametrize(
+        "members,required",
+        [((), 1), (("A", "A"), 1), (("A",), 2), (("A", "B"), 0)],
+    )
+    def test_invalid_deployments(self, members, required):
+        with pytest.raises(SpecificationError):
+            RedundancyDeployment(members, required=required)
+
+
+class TestEnumerate:
+    def test_pairs(self):
+        names = [d.name for d in enumerate_deployments(["A", "B", "C"], 2)]
+        assert names == ["A & B", "A & C", "B & C"]
+
+    def test_triples_count(self):
+        assert len(enumerate_deployments(list("ABCDE"), 3)) == 10
+
+    def test_required_capped_at_ways(self):
+        deployments = enumerate_deployments(["A", "B", "C"], 2, required=3)
+        assert all(d.required == 2 for d in deployments)
+
+    def test_invalid_ways(self):
+        with pytest.raises(SpecificationError):
+            enumerate_deployments(["A"], 2)
+
+    def test_duplicate_pool_rejected(self):
+        with pytest.raises(SpecificationError):
+            enumerate_deployments(["A", "A"], 1)

@@ -1,0 +1,47 @@
+"""Shared fixtures: the paper's worked examples as reusable graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ComponentSets, FaultGraph, FaultSets, GateType
+
+
+@pytest.fixture
+def figure_4a() -> FaultGraph:
+    """Figure 4(a): E1 = {A1, A2}, E2 = {A2, A3}, AND-of-ORs."""
+    sets = ComponentSets.from_mapping({"E1": ["A1", "A2"], "E2": ["A2", "A3"]})
+    return sets.to_fault_graph("figure-4a")
+
+
+@pytest.fixture
+def figure_4b() -> FaultGraph:
+    """Figure 4(b): the weighted variant (0.1 / 0.2 / 0.3)."""
+    sets = FaultSets.from_mapping(
+        {"E1": {"A1": 0.1, "A2": 0.2}, "E2": {"A2": 0.2, "A3": 0.3}}
+    )
+    return sets.to_fault_graph("figure-4b")
+
+
+@pytest.fixture
+def figure_4b_probs() -> dict[str, float]:
+    return {"A1": 0.1, "A2": 0.2, "A3": 0.3}
+
+
+@pytest.fixture
+def deep_graph() -> FaultGraph:
+    """A 3-level graph with internal redundancy and shared leaves.
+
+    top = AND(S1, S2); S1 = OR(net1, libc6); S2 = OR(net2, libc6);
+    net1 = AND(tor1, shared-core); net2 = AND(tor2, shared-core).
+    Minimal RGs: {libc6}, {tor1, tor2}, {tor1, core}... see tests.
+    """
+    g = FaultGraph("deep")
+    for leaf in ("tor1", "tor2", "core", "libc6"):
+        g.add_basic_event(leaf)
+    g.add_gate("net1", GateType.AND, ["tor1", "core"])
+    g.add_gate("net2", GateType.AND, ["tor2", "core"])
+    g.add_gate("S1", GateType.OR, ["net1", "libc6"])
+    g.add_gate("S2", GateType.OR, ["net2", "libc6"])
+    g.add_gate("top", GateType.AND, ["S1", "S2"], top=True)
+    return g

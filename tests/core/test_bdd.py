@@ -1,0 +1,168 @@
+"""Unit + property tests for the BDD engine."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import FaultGraph, GateType, minimal_risk_groups
+from repro.core.bdd import BDD, ONE, ZERO, compile_graph
+from repro.core.probability import top_event_probability
+from repro.errors import AnalysisError
+
+
+class TestBDDBasics:
+    def test_literal_round_trip(self):
+        bdd = BDD(["a", "b"])
+        bdd.root = bdd.literal("a")
+        assert bdd.evaluate({"a"})
+        assert not bdd.evaluate({"b"})
+
+    def test_reduction_rule(self):
+        bdd = BDD(["a"])
+        assert bdd.make(0, ZERO, ZERO) == ZERO  # redundant test collapses
+
+    def test_hash_consing(self):
+        bdd = BDD(["a"])
+        assert bdd.literal("a") == bdd.literal("a")
+
+    def test_apply_or(self):
+        bdd = BDD(["a", "b"])
+        bdd.root = bdd.apply("or", bdd.literal("a"), bdd.literal("b"))
+        assert bdd.evaluate({"a"})
+        assert bdd.evaluate({"b"})
+        assert not bdd.evaluate(set())
+
+    def test_apply_and(self):
+        bdd = BDD(["a", "b"])
+        bdd.root = bdd.apply("and", bdd.literal("a"), bdd.literal("b"))
+        assert bdd.evaluate({"a", "b"})
+        assert not bdd.evaluate({"a"})
+
+    def test_at_least(self):
+        bdd = BDD(["a", "b", "c"])
+        ops = [bdd.literal(x) for x in "abc"]
+        bdd.root = bdd.at_least(2, ops)
+        assert bdd.evaluate({"a", "b"})
+        assert bdd.evaluate({"a", "c"})
+        assert not bdd.evaluate({"c"})
+
+    def test_unknown_variable(self):
+        with pytest.raises(AnalysisError):
+            BDD(["a"]).literal("z")
+
+    def test_unknown_operation(self):
+        bdd = BDD(["a", "b"])
+        with pytest.raises(AnalysisError):
+            bdd.apply("xor", bdd.literal("a"), bdd.literal("b"))
+
+
+class TestCompileGraph:
+    def test_agrees_with_graph_evaluation(self, deep_graph):
+        bdd = compile_graph(deep_graph)
+        leaves = deep_graph.basic_events()
+        for r in range(len(leaves) + 1):
+            for failed in combinations(leaves, r):
+                assert bdd.evaluate(set(failed)) == deep_graph.evaluate(
+                    failed
+                ), failed
+
+    def test_probability_matches_cut_set_route(self, figure_4b):
+        bdd = compile_graph(figure_4b)
+        probs = {"A1": 0.1, "A2": 0.2, "A3": 0.3}
+        # Exact on the shared-A2 DAG, where tree_probability refuses.
+        assert bdd.probability(probs) == pytest.approx(0.224)
+
+    def test_minimal_cut_sets_match_mocus(self, deep_graph):
+        bdd = compile_graph(deep_graph)
+        assert bdd.minimal_cut_sets() == minimal_risk_groups(deep_graph)
+
+    def test_model_count_brute_force(self, deep_graph):
+        bdd = compile_graph(deep_graph)
+        leaves = deep_graph.basic_events()
+        expected = 0
+        for r in range(len(leaves) + 1):
+            for failed in combinations(leaves, r):
+                if deep_graph.evaluate(failed):
+                    expected += 1
+        assert bdd.count_failure_states() == expected
+
+    def test_custom_ordering(self, figure_4a):
+        bdd = compile_graph(figure_4a, ordering=["A3", "A2", "A1"])
+        assert bdd.evaluate({"A2"})
+        assert bdd.minimal_cut_sets() == minimal_risk_groups(figure_4a)
+
+    def test_bad_ordering_rejected(self, figure_4a):
+        with pytest.raises(AnalysisError, match="exactly"):
+            compile_graph(figure_4a, ordering=["A1"])
+
+    def test_missing_probability(self, figure_4a):
+        bdd = compile_graph(figure_4a)
+        with pytest.raises(AnalysisError, match="no failure probability"):
+            bdd.probability({"A1": 0.5})
+
+    def test_k_of_n_graph(self):
+        g = FaultGraph()
+        for name in "abcd":
+            g.add_basic_event(name, probability=0.5)
+        g.add_gate("top", GateType.K_OF_N, list("abcd"), k=3, top=True)
+        bdd = compile_graph(g)
+        # P(X >= 3), X ~ Binomial(4, 0.5) = (4 + 1)/16
+        assert bdd.probability({n: 0.5 for n in "abcd"}) == pytest.approx(
+            5 / 16
+        )
+        assert bdd.count_failure_states() == 5
+
+    def test_size_reported(self, deep_graph):
+        assert compile_graph(deep_graph).size() >= 1
+
+
+@st.composite
+def small_graphs(draw) -> FaultGraph:
+    n_leaves = draw(st.integers(2, 6))
+    g = FaultGraph("prop")
+    nodes = [g.add_basic_event(f"L{i}") for i in range(n_leaves)]
+    for i in range(draw(st.integers(1, 4))):
+        fan = draw(st.integers(1, min(3, len(nodes))))
+        children = draw(
+            st.lists(
+                st.sampled_from(nodes), min_size=fan, max_size=fan, unique=True
+            )
+        )
+        gate = draw(st.sampled_from([GateType.AND, GateType.OR]))
+        nodes.append(g.add_gate(f"G{i}", gate, children))
+    reachable = g.descendants(nodes[-1]) | {nodes[-1]}
+    orphans = [n for n in g.events() if n not in reachable and not g.parents(n)]
+    if orphans:
+        g.add_gate("ROOT", GateType.OR, [nodes[-1], *orphans], top=True)
+    else:
+        g.set_top(nodes[-1])
+    return g
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_graphs())
+def test_bdd_equals_graph_on_all_assignments(graph):
+    bdd = compile_graph(graph)
+    leaves = graph.basic_events()
+    for r in range(len(leaves) + 1):
+        for failed in combinations(leaves, r):
+            assert bdd.evaluate(set(failed)) == graph.evaluate(failed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs())
+def test_bdd_cut_sets_equal_mocus(graph):
+    bdd = compile_graph(graph)
+    assert bdd.minimal_cut_sets() == minimal_risk_groups(graph)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs(), st.floats(0.05, 0.95))
+def test_bdd_probability_equals_inclusion_exclusion(graph, p):
+    groups = minimal_risk_groups(graph)
+    probs = {leaf: p for leaf in graph.basic_events()}
+    bdd = compile_graph(graph)
+    assert bdd.probability(probs) == pytest.approx(
+        top_event_probability(groups, probs, method="exact")
+    )

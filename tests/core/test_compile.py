@@ -1,0 +1,113 @@
+"""Unit tests for the compiled (vectorised) fault-graph evaluator."""
+
+import numpy as np
+import pytest
+
+from repro import FaultGraph, GateType
+from repro.core.compile import CompiledGraph
+from repro.errors import FaultGraphError
+
+
+@pytest.fixture
+def compiled(deep_graph) -> CompiledGraph:
+    return CompiledGraph(deep_graph)
+
+
+class TestCompilation:
+    def test_basic_names_follow_topo_order(self, compiled, deep_graph):
+        assert set(compiled.basic_names) == set(deep_graph.basic_events())
+        assert compiled.n_basic == 4
+
+    def test_top_index_points_at_top(self, compiled, deep_graph):
+        assert compiled.order[compiled.top_index] == deep_graph.top
+
+    def test_requires_valid_graph(self):
+        g = FaultGraph()
+        g.add_basic_event("a")
+        with pytest.raises(FaultGraphError):
+            CompiledGraph(g)  # no top event
+
+
+class TestBatchEvaluation:
+    def test_matches_reference_evaluator(self, compiled, deep_graph):
+        rng = np.random.default_rng(0)
+        failures = rng.random((64, compiled.n_basic)) < 0.5
+        batch_top = compiled.evaluate_batch(failures)
+        for row in range(64):
+            failed = {
+                compiled.basic_names[i]
+                for i in np.flatnonzero(failures[row])
+            }
+            assert batch_top[row] == deep_graph.evaluate(failed)
+
+    def test_return_all_shape(self, compiled):
+        failures = np.zeros((3, compiled.n_basic), dtype=bool)
+        values = compiled.evaluate_batch(failures, return_all=True)
+        assert values.shape == (3, compiled.n_nodes)
+        assert not values.any()
+
+    def test_wrong_width_rejected(self, compiled):
+        with pytest.raises(FaultGraphError, match="expected shape"):
+            compiled.evaluate_batch(np.zeros((2, 99), dtype=bool))
+
+    def test_top_fails_helper(self, compiled):
+        assert compiled.top_fails(["libc6"])
+        assert not compiled.top_fails(["tor1"])
+
+
+class TestWitnessExtraction:
+    def test_witness_is_a_risk_group(self, compiled, deep_graph):
+        values = compiled.evaluate_assignment(range(compiled.n_basic))
+        witness = compiled.extract_witness(values)
+        assert deep_graph.evaluate(witness)
+        # prefers the cheapest path: the shared libc6 singleton
+        assert witness == frozenset({"libc6"})
+
+    def test_witness_requires_failure(self, compiled):
+        values = compiled.evaluate_assignment([])
+        with pytest.raises(FaultGraphError, match="did not fail"):
+            compiled.extract_witness(values)
+
+    def test_witness_without_shortcut(self, compiled, deep_graph):
+        # Fail everything except libc6: witness must use the tor/core cut.
+        positions = [
+            i for i, n in enumerate(compiled.basic_names) if n != "libc6"
+        ]
+        values = compiled.evaluate_assignment(positions)
+        witness = compiled.extract_witness(values)
+        assert "libc6" not in witness
+        assert deep_graph.evaluate(witness)
+
+
+class TestMinimiseCut:
+    def test_minimises_to_minimal_rg(self, compiled, deep_graph):
+        minimal = compiled.minimise_cut(
+            ["libc6", "tor1", "tor2", "core"]
+        )
+        assert deep_graph.evaluate(minimal)
+        for event in minimal:
+            assert not deep_graph.evaluate(set(minimal) - {event})
+
+    def test_rejects_non_risk_group(self, compiled):
+        with pytest.raises(FaultGraphError, match="not a risk group"):
+            compiled.minimise_cut(["tor1"])
+
+
+class TestSampling:
+    def test_uniform_sampling_rate(self, compiled):
+        rng = np.random.default_rng(1)
+        draws = compiled.sample_failures(4000, None, rng, 0.25)
+        assert draws.shape == (4000, compiled.n_basic)
+        assert abs(draws.mean() - 0.25) < 0.03
+
+    def test_weighted_sampling(self, compiled):
+        rng = np.random.default_rng(2)
+        weights = [0.0, 1.0, 0.5, 0.5]
+        draws = compiled.sample_failures(2000, weights, rng)
+        assert not draws[:, 0].any()
+        assert draws[:, 1].all()
+
+    def test_weight_shape_checked(self, compiled):
+        rng = np.random.default_rng(3)
+        with pytest.raises(FaultGraphError):
+            compiled.sample_failures(10, [0.5], rng)

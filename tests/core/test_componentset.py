@@ -1,0 +1,108 @@
+"""Unit tests for the component-set level of detail."""
+
+import pytest
+
+from repro import ComponentSets, GateType, component_sets_from_graph, minimal_risk_groups
+from repro.errors import FaultGraphError
+
+
+class TestComponentSets:
+    def test_from_mapping_freezes(self):
+        sets = ComponentSets.from_mapping({"E1": ["A1", "A2"]})
+        assert sets.sets["E1"] == frozenset({"A1", "A2"})
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(FaultGraphError, match="empty"):
+            ComponentSets.from_mapping({"E1": []})
+
+    def test_components_union(self):
+        sets = ComponentSets.from_mapping(
+            {"E1": ["A1", "A2"], "E2": ["A2", "A3"]}
+        )
+        assert sets.components() == frozenset({"A1", "A2", "A3"})
+
+    def test_shared_components_figure_4a(self):
+        sets = ComponentSets.from_mapping(
+            {"E1": ["A1", "A2"], "E2": ["A2", "A3"]}
+        )
+        assert sets.shared_components() == frozenset({"A2"})
+
+    def test_shared_components_three_sources(self):
+        sets = ComponentSets.from_mapping(
+            {"E1": ["x", "y"], "E2": ["y", "z"], "E3": ["z", "w"]}
+        )
+        assert sets.shared_components() == frozenset({"y", "z"})
+
+    def test_common_to_all(self):
+        sets = ComponentSets.from_mapping(
+            {"E1": ["s", "a"], "E2": ["s", "b"], "E3": ["s", "c"]}
+        )
+        assert sets.common_to_all() == frozenset({"s"})
+
+    def test_common_to_all_empty_when_disjointish(self):
+        sets = ComponentSets.from_mapping({"E1": ["a"], "E2": ["b"]})
+        assert sets.common_to_all() == frozenset()
+
+
+class TestToFaultGraph:
+    def test_and_of_ors_structure(self, figure_4a):
+        top = figure_4a.top
+        assert figure_4a.event(top).gate is GateType.AND
+        assert set(figure_4a.children(top)) == {"E1", "E2"}
+        assert figure_4a.event("E1").gate is GateType.OR
+        # A2 is a shared leaf.
+        assert set(figure_4a.parents("A2")) == {"E1", "E2"}
+
+    def test_figure_4a_minimal_rgs(self, figure_4a):
+        groups = minimal_risk_groups(figure_4a)
+        assert groups == [frozenset({"A2"}), frozenset({"A1", "A3"})]
+
+    def test_single_source_top_is_the_source(self):
+        sets = ComponentSets.from_mapping({"only": ["a", "b"]})
+        graph = sets.to_fault_graph()
+        assert graph.top == "only"
+
+    def test_partial_redundancy_uses_k_of_n(self):
+        sets = ComponentSets.from_mapping(
+            {"E1": ["a"], "E2": ["b"], "E3": ["c"]}, required=2
+        )
+        graph = sets.to_fault_graph()
+        # Needs 2 alive of 3 => fails when 2 fail.
+        assert graph.threshold(graph.top) == 2
+        assert graph.evaluate(["a", "b"])
+        assert not graph.evaluate(["a"])
+
+    def test_default_requires_all_failures(self):
+        sets = ComponentSets.from_mapping({"E1": ["a"], "E2": ["b"]})
+        graph = sets.to_fault_graph()
+        assert not graph.evaluate(["a"])
+        assert graph.evaluate(["a", "b"])
+
+
+class TestDowngrade:
+    def test_round_trip_from_graph(self, figure_4a):
+        sets = component_sets_from_graph(figure_4a)
+        assert sets.sets == {
+            "E1": frozenset({"A1", "A2"}),
+            "E2": frozenset({"A2", "A3"}),
+        }
+
+    def test_downgrade_flattens_deep_structure(self, deep_graph):
+        sets = component_sets_from_graph(deep_graph)
+        assert sets.sets["S1"] == frozenset({"tor1", "core", "libc6"})
+        assert sets.sets["S2"] == frozenset({"tor2", "core", "libc6"})
+
+    def test_downgrade_is_pessimistic(self, deep_graph):
+        """Flattening discards internal redundancy, so every cut set of
+        the original graph is still a cut set of the flat one."""
+        flat = component_sets_from_graph(deep_graph).to_fault_graph()
+        for cut in minimal_risk_groups(deep_graph):
+            assert flat.evaluate(cut)
+
+    def test_downgrade_preserves_k_of_n_required(self):
+        sets = ComponentSets.from_mapping(
+            {"E1": ["a"], "E2": ["b"], "E3": ["c"]}, required=2
+        )
+        graph = sets.to_fault_graph()
+        back = component_sets_from_graph(graph)
+        assert back.required == 2

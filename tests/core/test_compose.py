@@ -1,0 +1,91 @@
+"""Unit tests for dependency-graph composition."""
+
+import pytest
+
+from repro import FaultGraph, GateType, compose, minimal_risk_groups
+from repro.errors import FaultGraphError
+
+
+def service_graph(name: str, leaves: list[str]) -> FaultGraph:
+    g = FaultGraph(name)
+    for leaf in leaves:
+        g.add_basic_event(leaf)
+    g.add_gate(f"{name}-top", GateType.OR, leaves, top=True)
+    return g
+
+
+@pytest.fixture
+def ec2_graph() -> FaultGraph:
+    """EC2 instance graph with a placeholder for the EBS service."""
+    g = FaultGraph("ec2")
+    g.add_basic_event("service:EBS")
+    g.add_basic_event("hv1")
+    g.add_gate("ec2-top", GateType.OR, ["service:EBS", "hv1"], top=True)
+    return g
+
+
+class TestCompose:
+    def test_placeholder_replaced_by_subgraph(self, ec2_graph):
+        ebs = service_graph("ebs", ["ebs-server", "ebs-disk"])
+        composed = compose(ec2_graph, {"service:EBS": ebs})
+        assert "service:EBS" not in composed
+        assert composed.evaluate(["ebs-server"])  # EBS failure fails EC2
+        assert composed.evaluate(["hv1"])
+
+    def test_shared_infrastructure_exposed(self):
+        """The paper's intro scenario: one EBS server under two 'redundant'
+        EC2 instances shows up as a singleton RG after composition."""
+        ec2 = FaultGraph("redundant-ec2")
+        ec2.add_basic_event("svc:ebs-a")
+        ec2.add_basic_event("svc:ebs-b")
+        ec2.add_gate("i1", GateType.OR, ["svc:ebs-a"])
+        ec2.add_gate("i2", GateType.OR, ["svc:ebs-b"])
+        ec2.add_gate("app", GateType.AND, ["i1", "i2"], top=True)
+        # Both EBS volumes secretly live on one server.
+        ebs_a = service_graph("ebs-a", ["ebs-server-7"])
+        ebs_b = service_graph("ebs-b", ["ebs-server-7"])
+        composed = compose(ec2, {"svc:ebs-a": ebs_a, "svc:ebs-b": ebs_b})
+        assert frozenset({"ebs-server-7"}) in minimal_risk_groups(composed)
+
+    def test_unknown_placeholder_rejected(self, ec2_graph):
+        with pytest.raises(FaultGraphError, match="not present"):
+            compose(ec2_graph, {"nope": service_graph("s", ["x"])})
+
+    def test_gate_placeholder_rejected(self, ec2_graph):
+        with pytest.raises(FaultGraphError, match="basic event"):
+            compose(ec2_graph, {"ec2-top": service_graph("s", ["x"])})
+
+    def test_conflicting_probabilities_rejected(self, ec2_graph):
+        sub = FaultGraph("s")
+        sub.add_basic_event("shared", probability=0.5)
+        sub.add_gate("s-top", GateType.OR, ["shared"], top=True)
+        primary = FaultGraph("p")
+        primary.add_basic_event("ph")
+        primary.add_basic_event("shared", probability=0.1)
+        primary.add_gate("p-top", GateType.OR, ["ph", "shared"], top=True)
+        with pytest.raises(FaultGraphError, match="conflicting"):
+            compose(primary, {"ph": sub})
+
+    def test_probability_filled_from_either_side(self):
+        sub = FaultGraph("s")
+        sub.add_basic_event("shared", probability=0.5)
+        sub.add_gate("s-top", GateType.OR, ["shared"], top=True)
+        primary = FaultGraph("p")
+        primary.add_basic_event("ph")
+        primary.add_basic_event("shared")  # unweighted here
+        primary.add_gate("p-top", GateType.OR, ["ph", "shared"], top=True)
+        composed = compose(primary, {"ph": sub})
+        assert composed.probability_of("shared") == 0.5
+
+    def test_gate_vs_basic_conflict_rejected(self, ec2_graph):
+        sub = FaultGraph("s")
+        sub.add_basic_event("x")
+        sub.add_gate("hv1", GateType.OR, ["x"], top=True)  # collides
+        with pytest.raises(FaultGraphError, match="gate in one"):
+            compose(ec2_graph, {"service:EBS": sub})
+
+    def test_composed_graph_validates(self, ec2_graph):
+        ebs = service_graph("ebs", ["ebs-server"])
+        composed = compose(ec2_graph, {"service:EBS": ebs})
+        composed.validate()
+        assert composed.top == "ec2-top"

@@ -1,0 +1,93 @@
+"""Unit tests for event and gate primitives."""
+
+import pytest
+
+from repro.core.events import (
+    Event,
+    GateType,
+    redundancy_threshold,
+    validate_probability,
+)
+from repro.errors import FaultGraphError
+
+
+class TestRedundancyThreshold:
+    def test_plain_replication_fails_only_when_all_fail(self):
+        assert redundancy_threshold(1, 3) == 3
+
+    def test_two_of_three_tolerates_one_failure(self):
+        assert redundancy_threshold(2, 3) == 2
+
+    def test_no_slack(self):
+        assert redundancy_threshold(3, 3) == 1
+
+    def test_single_member(self):
+        assert redundancy_threshold(1, 1) == 1
+
+    @pytest.mark.parametrize("required,total", [(0, 3), (4, 3), (-1, 2)])
+    def test_invalid_redundancy_rejected(self, required, total):
+        with pytest.raises(FaultGraphError):
+            redundancy_threshold(required, total)
+
+
+class TestValidateProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0, 0.224])
+    def test_valid_values_pass_through(self, value):
+        assert validate_probability(value) == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, float("nan"), "abc", None])
+    def test_invalid_values_rejected(self, value):
+        with pytest.raises(FaultGraphError):
+            validate_probability(value)
+
+    def test_error_mentions_what(self):
+        with pytest.raises(FaultGraphError, match="weight of X"):
+            validate_probability(2.0, what="weight of X")
+
+
+class TestEvent:
+    def test_basic_event(self):
+        event = Event("A1")
+        assert event.is_basic
+        assert event.probability is None
+
+    def test_gate_event_is_not_basic(self):
+        assert not Event("g", gate=GateType.OR).is_basic
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(FaultGraphError):
+            Event("")
+
+    def test_k_of_n_requires_threshold(self):
+        with pytest.raises(FaultGraphError):
+            Event("g", gate=GateType.K_OF_N)
+
+    def test_threshold_only_for_k_of_n(self):
+        with pytest.raises(FaultGraphError):
+            Event("g", gate=GateType.AND, k=2)
+
+    def test_invalid_gate_type(self):
+        with pytest.raises(FaultGraphError):
+            Event("g", gate="and")
+
+    def test_probability_validated(self):
+        with pytest.raises(FaultGraphError):
+            Event("A", probability=1.5)
+
+    def test_or_threshold_is_one(self):
+        assert Event("g", gate=GateType.OR).threshold(5) == 1
+
+    def test_and_threshold_is_fan_in(self):
+        assert Event("g", gate=GateType.AND).threshold(5) == 5
+
+    def test_k_of_n_threshold(self):
+        assert Event("g", gate=GateType.K_OF_N, k=3).threshold(5) == 3
+
+    def test_k_of_n_threshold_exceeding_fan_in_rejected(self):
+        event = Event("g", gate=GateType.K_OF_N, k=6)
+        with pytest.raises(FaultGraphError):
+            event.threshold(5)
+
+    def test_basic_event_has_no_threshold(self):
+        with pytest.raises(FaultGraphError):
+            Event("A").threshold(1)

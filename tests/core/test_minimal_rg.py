@@ -1,0 +1,171 @@
+"""Unit tests for the exact minimal risk-group algorithm."""
+
+import pytest
+
+from repro import FaultGraph, GateType, minimal_risk_groups
+from repro.core.minimal_rg import (
+    CutSetExplosion,
+    is_minimal_risk_group,
+    is_risk_group,
+    minimise_family,
+    unexpected_risk_groups,
+)
+from repro.errors import AnalysisError
+
+
+class TestMinimiseFamily:
+    def test_removes_supersets(self):
+        family = [
+            frozenset({"a", "b"}),
+            frozenset({"a"}),
+            frozenset({"a", "b", "c"}),
+            frozenset({"b", "c"}),
+        ]
+        assert set(minimise_family(family)) == {
+            frozenset({"a"}),
+            frozenset({"b", "c"}),
+        }
+
+    def test_deduplicates(self):
+        family = [frozenset({"x"}), frozenset({"x"})]
+        assert minimise_family(family) == [frozenset({"x"})]
+
+    def test_idempotent(self):
+        family = [frozenset({"a", "b"}), frozenset({"c"})]
+        once = minimise_family(family)
+        assert minimise_family(once) == once
+
+    def test_empty(self):
+        assert minimise_family([]) == []
+
+    def test_result_is_antichain(self):
+        family = [frozenset(s) for s in ("ab", "bc", "abc", "a", "cd", "d")]
+        result = minimise_family(family)
+        for left in result:
+            for right in result:
+                if left is not right:
+                    assert not left <= right
+
+
+class TestMinimalRiskGroups:
+    def test_figure_4a(self, figure_4a):
+        assert minimal_risk_groups(figure_4a) == [
+            frozenset({"A2"}),
+            frozenset({"A1", "A3"}),
+        ]
+
+    def test_deep_graph(self, deep_graph):
+        groups = minimal_risk_groups(deep_graph)
+        assert frozenset({"libc6"}) in groups
+        assert frozenset({"core"}) not in groups  # core alone kills nets but
+        # each server still needs its net AND... core fails both nets:
+        # net1 = AND(tor1, core): core alone does NOT fail net1.
+        assert frozenset({"tor1", "tor2"}) not in groups  # nets need core too
+        assert frozenset({"core", "tor1", "tor2"}) in groups
+
+    def test_single_basic_event_graph(self):
+        g = FaultGraph()
+        g.add_basic_event("a")
+        g.set_top("a")
+        assert minimal_risk_groups(g) == [frozenset({"a"})]
+
+    def test_pure_or_chain(self):
+        g = FaultGraph()
+        for name in "abc":
+            g.add_basic_event(name)
+        g.add_gate("top", GateType.OR, list("abc"), top=True)
+        assert minimal_risk_groups(g) == [
+            frozenset({"a"}),
+            frozenset({"b"}),
+            frozenset({"c"}),
+        ]
+
+    def test_k_of_n_gate(self):
+        g = FaultGraph()
+        for name in "abc":
+            g.add_basic_event(name)
+        g.add_gate("top", GateType.K_OF_N, list("abc"), k=2, top=True)
+        groups = minimal_risk_groups(g)
+        assert groups == [
+            frozenset({"a", "b"}),
+            frozenset({"a", "c"}),
+            frozenset({"b", "c"}),
+        ]
+
+    def test_shared_subtree_memoised_correctly(self):
+        """A shared OR gate feeding two AND branches: {s} is minimal."""
+        g = FaultGraph()
+        g.add_basic_event("s")
+        g.add_basic_event("x")
+        g.add_basic_event("y")
+        g.add_gate("shared", GateType.OR, ["s"])
+        g.add_gate("b1", GateType.OR, ["shared", "x"])
+        g.add_gate("b2", GateType.OR, ["shared", "y"])
+        g.add_gate("top", GateType.AND, ["b1", "b2"], top=True)
+        groups = minimal_risk_groups(g)
+        assert frozenset({"s"}) in groups
+        assert frozenset({"x", "y"}) in groups
+        assert len(groups) == 2
+
+    def test_results_sorted_by_size_then_members(self, figure_4a):
+        groups = minimal_risk_groups(figure_4a)
+        sizes = [len(g) for g in groups]
+        assert sizes == sorted(sizes)
+
+    def test_every_result_is_minimal(self, deep_graph):
+        for group in minimal_risk_groups(deep_graph):
+            assert is_minimal_risk_group(deep_graph, group)
+
+    def test_max_order_truncation(self, deep_graph):
+        truncated = minimal_risk_groups(deep_graph, max_order=1)
+        assert truncated == [frozenset({"libc6"})]
+        full = minimal_risk_groups(deep_graph)
+        assert set(truncated) <= set(full)
+
+    def test_max_groups_explosion(self):
+        """A 2^n product blows past a tiny max_groups bound."""
+        g = FaultGraph()
+        branches = []
+        for i in range(8):
+            left = g.add_basic_event(f"l{i}")
+            right = g.add_basic_event(f"r{i}")
+            branches.append(g.add_gate(f"or{i}", GateType.OR, [left, right]))
+        g.add_gate("top", GateType.AND, branches, top=True)
+        with pytest.raises(CutSetExplosion):
+            minimal_risk_groups(g, max_groups=10)
+        # With a roomy bound it succeeds: 2^8 products.
+        assert len(minimal_risk_groups(g)) == 256
+
+    def test_explicit_subtop(self, deep_graph):
+        groups = minimal_risk_groups(deep_graph, top="S1")
+        assert frozenset({"libc6"}) in groups
+        assert frozenset({"tor1", "core"}) in groups
+
+
+class TestPredicates:
+    def test_is_risk_group(self, figure_4a):
+        assert is_risk_group(figure_4a, {"A2"})
+        assert is_risk_group(figure_4a, {"A1", "A2", "A3"})
+        assert not is_risk_group(figure_4a, {"A1"})
+
+    def test_is_minimal_risk_group(self, figure_4a):
+        assert is_minimal_risk_group(figure_4a, {"A2"})
+        assert is_minimal_risk_group(figure_4a, {"A1", "A3"})
+        assert not is_minimal_risk_group(figure_4a, {"A1", "A2"})
+        assert not is_minimal_risk_group(figure_4a, {"A1"})
+
+
+class TestUnexpectedRiskGroups:
+    def test_filters_smaller_than_redundancy(self):
+        groups = [frozenset({"x"}), frozenset({"a", "b"})]
+        assert unexpected_risk_groups(groups, expected_size=2) == [
+            frozenset({"x"})
+        ]
+
+    def test_none_when_all_big_enough(self):
+        groups = [frozenset({"a", "b"})]
+        assert unexpected_risk_groups(groups, expected_size=2) == []
+
+    def test_invalid_expected_size(self):
+        with pytest.raises(AnalysisError):
+            unexpected_risk_groups([], expected_size=0)

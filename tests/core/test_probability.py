@@ -1,0 +1,151 @@
+"""Unit tests for probability computations (§4.1.3 worked example)."""
+
+import pytest
+
+from repro import FaultGraph, GateType
+from repro.core.probability import (
+    cut_probability,
+    expected_error_minhash,
+    graph_probability_sampled,
+    relative_importance,
+    top_event_probability,
+    tree_probability,
+    union_probability,
+)
+from repro.errors import AnalysisError
+
+CUTS_4B = [frozenset({"A2"}), frozenset({"A1", "A3"})]
+
+
+class TestCutProbability:
+    def test_product(self, figure_4b_probs):
+        assert cut_probability({"A1", "A3"}, figure_4b_probs) == pytest.approx(
+            0.03
+        )
+
+    def test_single(self, figure_4b_probs):
+        assert cut_probability({"A2"}, figure_4b_probs) == 0.2
+
+    def test_missing_probability(self):
+        with pytest.raises(AnalysisError, match="no failure probability"):
+            cut_probability({"zz"}, {})
+
+
+class TestUnionProbability:
+    def test_paper_inclusion_exclusion(self, figure_4b_probs):
+        # Pr(T) = 0.1*0.3 + 0.2 - 0.1*0.3*0.2 = 0.224
+        assert union_probability(CUTS_4B, figure_4b_probs) == pytest.approx(
+            0.224
+        )
+
+    def test_monte_carlo_agrees(self, figure_4b_probs):
+        estimate = union_probability(
+            CUTS_4B, figure_4b_probs, method="monte-carlo", mc_rounds=200_000
+        )
+        assert estimate == pytest.approx(0.224, abs=0.01)
+
+    def test_rare_event_upper_bound(self, figure_4b_probs):
+        bound = union_probability(CUTS_4B, figure_4b_probs, method="rare-event")
+        assert bound == pytest.approx(0.23)
+        assert bound >= 0.224
+
+    def test_esary_proschan_bound(self, figure_4b_probs):
+        bound = union_probability(
+            CUTS_4B, figure_4b_probs, method="esary-proschan"
+        )
+        # 1 - (1-0.2)(1-0.03) = 0.224; equals exact here because the two
+        # cuts share no events.
+        assert bound == pytest.approx(0.224)
+
+    def test_overlapping_cuts_inclusion_exclusion(self):
+        probs = {"a": 0.5, "b": 0.5}
+        cuts = [frozenset({"a"}), frozenset({"a", "b"})]
+        # Union = Pr(a) since second cut implies the first.
+        assert union_probability(cuts, probs) == pytest.approx(0.5)
+
+    def test_exact_refused_beyond_limit(self):
+        probs = {f"e{i}": 0.01 for i in range(30)}
+        cuts = [frozenset({f"e{i}"}) for i in range(30)]
+        with pytest.raises(AnalysisError, match="exceed"):
+            union_probability(cuts, probs, method="exact")
+
+    def test_auto_switches_to_monte_carlo(self):
+        probs = {f"e{i}": 0.01 for i in range(30)}
+        cuts = [frozenset({f"e{i}"}) for i in range(30)]
+        value = union_probability(cuts, probs, mc_rounds=50_000, seed=1)
+        exact = 1 - 0.99**30
+        assert value == pytest.approx(exact, abs=0.01)
+
+    def test_empty_cuts_rejected(self):
+        with pytest.raises(AnalysisError):
+            union_probability([], {})
+
+    def test_unknown_method(self, figure_4b_probs):
+        with pytest.raises(AnalysisError, match="unknown method"):
+            union_probability(CUTS_4B, figure_4b_probs, method="zzz")
+
+
+class TestRelativeImportance:
+    def test_paper_values(self, figure_4b_probs):
+        top = top_event_probability(CUTS_4B, figure_4b_probs)
+        assert relative_importance({"A2"}, top, figure_4b_probs) == (
+            pytest.approx(0.8929, abs=1e-4)
+        )
+        assert relative_importance({"A1", "A3"}, top, figure_4b_probs) == (
+            pytest.approx(0.1339, abs=1e-4)
+        )
+
+    def test_invalid_top_probability(self, figure_4b_probs):
+        with pytest.raises(AnalysisError):
+            relative_importance({"A2"}, 0.0, figure_4b_probs)
+
+
+class TestTreeProbability:
+    def test_simple_or(self):
+        g = FaultGraph()
+        g.add_basic_event("a", probability=0.1)
+        g.add_basic_event("b", probability=0.2)
+        g.add_gate("top", GateType.OR, ["a", "b"], top=True)
+        assert tree_probability(g) == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_simple_and(self):
+        g = FaultGraph()
+        g.add_basic_event("a", probability=0.1)
+        g.add_basic_event("b", probability=0.2)
+        g.add_gate("top", GateType.AND, ["a", "b"], top=True)
+        assert tree_probability(g) == pytest.approx(0.02)
+
+    def test_k_of_n_poisson_binomial(self):
+        g = FaultGraph()
+        for name in "abc":
+            g.add_basic_event(name, probability=0.5)
+        g.add_gate("top", GateType.K_OF_N, list("abc"), k=2, top=True)
+        # P(X >= 2) for Binomial(3, 0.5) = 4/8 = 0.5
+        assert tree_probability(g) == pytest.approx(0.5)
+
+    def test_shared_nodes_rejected(self, figure_4b):
+        with pytest.raises(AnalysisError, match="not a tree"):
+            tree_probability(figure_4b)
+
+    def test_missing_weight_rejected(self):
+        g = FaultGraph()
+        g.add_basic_event("a")
+        g.add_gate("top", GateType.OR, ["a"], top=True)
+        with pytest.raises(AnalysisError, match="no probability"):
+            tree_probability(g)
+
+
+class TestGraphProbabilitySampled:
+    def test_matches_cut_set_probability(self, figure_4b, figure_4b_probs):
+        sampled = graph_probability_sampled(figure_4b, rounds=200_000, seed=0)
+        assert sampled == pytest.approx(0.224, abs=0.01)
+
+
+class TestMinHashError:
+    def test_broder_bound(self):
+        assert expected_error_minhash(100) == pytest.approx(0.1)
+        assert expected_error_minhash(400) == pytest.approx(0.05)
+
+    def test_invalid_size(self):
+        with pytest.raises(AnalysisError):
+            expected_error_minhash(0)

@@ -1,0 +1,164 @@
+"""Property-based tests for the core algorithms (hypothesis).
+
+Invariants checked on randomly generated fault graphs:
+
+* every reported minimal RG is a risk group and is minimal;
+* the sampler only reports risk groups, and (minimised) only minimal ones;
+* fault graphs are monotone: adding failures never un-fails the top;
+* absorption (minimise_family) yields an antichain covering the input;
+* exact inclusion-exclusion matches Monte-Carlo estimation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import FailureSampler, FaultGraph, GateType, minimal_risk_groups
+from repro.core.compile import CompiledGraph
+from repro.core.minimal_rg import is_minimal_risk_group, minimise_family
+from repro.core.probability import union_probability
+
+
+@st.composite
+def fault_graphs(draw) -> FaultGraph:
+    """Random layered DAGs with 3-8 leaves and 2-6 gates."""
+    n_leaves = draw(st.integers(3, 8))
+    g = FaultGraph("random")
+    nodes = []
+    for i in range(n_leaves):
+        nodes.append(g.add_basic_event(f"L{i}"))
+    n_gates = draw(st.integers(2, 6))
+    for i in range(n_gates):
+        fan_in = draw(st.integers(1, min(4, len(nodes))))
+        children = draw(
+            st.lists(
+                st.sampled_from(nodes),
+                min_size=fan_in,
+                max_size=fan_in,
+                unique=True,
+            )
+        )
+        gate = draw(st.sampled_from([GateType.AND, GateType.OR, GateType.K_OF_N]))
+        k = None
+        if gate is GateType.K_OF_N:
+            k = draw(st.integers(1, len(children)))
+        nodes.append(g.add_gate(f"G{i}", gate, children, k=k))
+    # Root everything unreachable into one final OR gate on top of the
+    # last gate plus any orphans.
+    reachable = g.descendants(nodes[-1]) | {nodes[-1]}
+    orphans = [n for n in g.events() if n not in reachable and not g.parents(n)]
+    if orphans:
+        g.add_gate("ROOT", GateType.OR, [nodes[-1], *orphans], top=True)
+    else:
+        g.set_top(nodes[-1])
+    g.validate()
+    return g
+
+
+@settings(max_examples=60, deadline=None)
+@given(fault_graphs())
+def test_minimal_rgs_are_minimal_risk_groups(graph):
+    groups = minimal_risk_groups(graph)
+    for group in groups:
+        assert is_minimal_risk_group(graph, group)
+
+
+@settings(max_examples=60, deadline=None)
+@given(fault_graphs())
+def test_minimal_rg_family_is_antichain(graph):
+    groups = minimal_risk_groups(graph)
+    for a in groups:
+        for b in groups:
+            if a is not b:
+                assert not a <= b
+
+
+@settings(max_examples=30, deadline=None)
+@given(fault_graphs(), st.integers(0, 2**31 - 1))
+def test_sampler_reports_only_minimal_risk_groups(graph, seed):
+    result = FailureSampler(graph, seed=seed, batch_size=256).run(400)
+    for group in result.risk_groups:
+        assert graph.evaluate(group)
+        assert is_minimal_risk_group(graph, group)
+
+
+@settings(max_examples=30, deadline=None)
+@given(fault_graphs(), st.integers(0, 2**31 - 1))
+def test_sampled_groups_subset_of_true_minimal_family(graph, seed):
+    true_groups = set(minimal_risk_groups(graph))
+    result = FailureSampler(graph, seed=seed, batch_size=256).run(400)
+    assert set(result.risk_groups) <= true_groups
+
+
+@settings(max_examples=40, deadline=None)
+@given(fault_graphs(), st.data())
+def test_fault_graphs_are_monotone(graph, data):
+    """Failing a superset of events can only keep/raise the top value."""
+    leaves = graph.basic_events()
+    subset = data.draw(st.sets(st.sampled_from(leaves), max_size=len(leaves)))
+    extra = data.draw(st.sets(st.sampled_from(leaves), max_size=len(leaves)))
+    small = graph.evaluate(subset)
+    big = graph.evaluate(set(subset) | set(extra))
+    assert big or not small
+
+
+@settings(max_examples=40, deadline=None)
+@given(fault_graphs())
+def test_compiled_evaluator_matches_reference(graph):
+    compiled = CompiledGraph(graph)
+    rng = np.random.default_rng(0)
+    failures = rng.random((16, compiled.n_basic)) < 0.4
+    top = compiled.evaluate_batch(failures)
+    for row in range(16):
+        failed = {
+            compiled.basic_names[i] for i in np.flatnonzero(failures[row])
+        }
+        assert top[row] == graph.evaluate(failed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.sets(st.sampled_from("abcdefg"), min_size=1, max_size=4).map(
+            frozenset
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_minimise_family_antichain_and_coverage(family):
+    result = minimise_family(family)
+    # antichain
+    for a in result:
+        for b in result:
+            if a is not b:
+                assert not a <= b
+    # coverage: every input set contains some kept set
+    for original in family:
+        assert any(kept <= original for kept in result)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.sets(st.sampled_from("abcde"), min_size=1, max_size=3).map(
+            frozenset
+        ),
+        min_size=1,
+        max_size=6,
+        unique=True,
+    ),
+    st.dictionaries(
+        st.sampled_from("abcde"),
+        st.floats(0.05, 0.95),
+        min_size=5,
+        max_size=5,
+    ),
+)
+def test_inclusion_exclusion_matches_monte_carlo(cuts, probs):
+    exact = union_probability(cuts, probs, method="exact")
+    estimate = union_probability(
+        cuts, probs, method="monte-carlo", mc_rounds=60_000, seed=3
+    )
+    assert abs(exact - estimate) < 0.02

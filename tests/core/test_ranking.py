@@ -1,0 +1,99 @@
+"""Unit tests for RG ranking and independence scores (§4.1.3–§4.1.4)."""
+
+import pytest
+
+from repro import (
+    RankingMethod,
+    independence_score,
+    rank_by_probability,
+    rank_by_size,
+)
+from repro.core.ranking import rank_risk_groups
+from repro.errors import AnalysisError
+
+CUTS = [frozenset({"A2"}), frozenset({"A1", "A3"})]
+PROBS = {"A1": 0.1, "A2": 0.2, "A3": 0.3}
+
+
+class TestSizeRanking:
+    def test_smallest_first(self):
+        ranking = rank_by_size(CUTS)
+        assert ranking[0].events == frozenset({"A2"})
+        assert ranking[0].rank == 1
+        assert ranking[1].events == frozenset({"A1", "A3"})
+
+    def test_lexicographic_tie_break(self):
+        ranking = rank_by_size([frozenset({"b"}), frozenset({"a"})])
+        assert [sorted(e.events)[0] for e in ranking] == ["a", "b"]
+
+    def test_no_probabilities_attached(self):
+        entry = rank_by_size(CUTS)[0]
+        assert entry.probability is None
+        assert entry.importance is None
+
+    def test_describe_mentions_size(self):
+        assert "size=1" in rank_by_size(CUTS)[0].describe()
+
+
+class TestProbabilityRanking:
+    def test_paper_example(self):
+        ranking = rank_by_probability(CUTS, PROBS)
+        assert ranking[0].events == frozenset({"A2"})
+        assert ranking[0].importance == pytest.approx(0.8929, abs=1e-4)
+        assert ranking[1].importance == pytest.approx(0.1339, abs=1e-4)
+
+    def test_precomputed_top_probability(self):
+        ranking = rank_by_probability(CUTS, PROBS, top_probability=0.224)
+        assert ranking[0].probability == pytest.approx(0.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            rank_by_probability([], PROBS)
+
+    def test_higher_probability_ranks_first(self):
+        probs = {"x": 0.9, "y": 0.01, "z": 0.01}
+        cuts = [frozenset({"x"}), frozenset({"y", "z"})]
+        ranking = rank_by_probability(cuts, probs)
+        assert ranking[0].events == frozenset({"x"})
+
+
+class TestDispatch:
+    def test_size_dispatch(self):
+        assert rank_risk_groups(CUTS, RankingMethod.SIZE) == rank_by_size(CUTS)
+
+    def test_probability_dispatch_requires_probs(self):
+        with pytest.raises(AnalysisError, match="needs per-event"):
+            rank_risk_groups(CUTS, RankingMethod.PROBABILITY)
+
+
+class TestIndependenceScore:
+    def test_size_score_sums_sizes(self):
+        ranking = rank_by_size(CUTS)
+        assert independence_score(ranking, RankingMethod.SIZE) == 3.0
+
+    def test_size_score_top_n(self):
+        ranking = rank_by_size(CUTS)
+        assert independence_score(ranking, RankingMethod.SIZE, top_n=1) == 1.0
+
+    def test_probability_score_sums_importances(self):
+        ranking = rank_by_probability(CUTS, PROBS)
+        score = independence_score(ranking, RankingMethod.PROBABILITY)
+        assert score == pytest.approx(0.8929 + 0.1339, abs=1e-3)
+
+    def test_probability_score_requires_importances(self):
+        ranking = rank_by_size(CUTS)
+        with pytest.raises(AnalysisError, match="lack importances"):
+            independence_score(ranking, RankingMethod.PROBABILITY)
+
+    def test_direction_flags(self):
+        assert RankingMethod.SIZE.higher_score_is_more_independent
+        assert not RankingMethod.PROBABILITY.higher_score_is_more_independent
+
+    def test_empty_ranking_rejected(self):
+        with pytest.raises(AnalysisError):
+            independence_score([], RankingMethod.SIZE)
+
+    def test_invalid_top_n(self):
+        ranking = rank_by_size(CUTS)
+        with pytest.raises(AnalysisError):
+            independence_score(ranking, RankingMethod.SIZE, top_n=0)

@@ -1,0 +1,75 @@
+"""Unit tests for DOT and Markdown rendering."""
+
+import pytest
+
+from repro import RankingMethod
+from repro.core.render import report_markdown, to_dot
+from repro.core.ranking import RankedRiskGroup
+from repro.core.report import AuditReport, DeploymentAudit
+from repro.errors import AnalysisError
+
+
+class TestToDot:
+    def test_structure(self, figure_4a):
+        dot = to_dot(figure_4a)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"A2"' in dot
+        assert "shape=box" in dot       # gates
+        assert "shape=ellipse" in dot   # leaves
+        assert '"A2" -> "E1";' in dot
+
+    def test_top_highlighted(self, figure_4a):
+        dot = to_dot(figure_4a)
+        assert "#d9ead3" in dot
+
+    def test_risk_group_highlight(self, figure_4a):
+        dot = to_dot(figure_4a, highlight=["A2"])
+        assert "#f4cccc" in dot
+
+    def test_unknown_highlight_rejected(self, figure_4a):
+        with pytest.raises(AnalysisError):
+            to_dot(figure_4a, highlight=["ghost"])
+
+    def test_probabilities_in_labels(self, figure_4b):
+        assert "p=0.2" in to_dot(figure_4b)
+
+    def test_k_of_n_label(self):
+        from repro import FaultGraph, GateType
+
+        g = FaultGraph()
+        for name in "abc":
+            g.add_basic_event(name)
+        g.add_gate("top", GateType.K_OF_N, list("abc"), k=2, top=True)
+        assert ">=2" in to_dot(g)
+
+    def test_invalid_rankdir(self, figure_4a):
+        with pytest.raises(AnalysisError):
+            to_dot(figure_4a, rankdir="XX")
+
+
+class TestReportMarkdown:
+    def make_report(self) -> AuditReport:
+        audit = DeploymentAudit(
+            deployment="S1 & S2",
+            sources=("S1", "S2"),
+            redundancy=2,
+            ranking=[
+                RankedRiskGroup(rank=1, events=frozenset({"shared"})),
+                RankedRiskGroup(rank=2, events=frozenset({"a", "b"})),
+            ],
+            score=3.0,
+            ranking_method=RankingMethod.SIZE,
+            failure_probability=0.12,
+        )
+        return AuditReport(
+            title="demo", audits=[audit], ranking_method=RankingMethod.SIZE
+        )
+
+    def test_contains_table_and_sections(self):
+        text = report_markdown(self.make_report())
+        assert text.startswith("# INDaaS auditing report: demo")
+        assert "| 1 | S1 & S2 | 3 | 0.12 | 1 |" in text
+        assert "## S1 & S2" in text
+        assert "`{shared}` **(unexpected)**" in text
+        assert "`{a, b}`" in text

@@ -1,0 +1,109 @@
+"""Unit tests for audit reports."""
+
+import json
+
+import pytest
+
+from repro import RankingMethod
+from repro.core.ranking import RankedRiskGroup
+from repro.core.report import AuditReport, DeploymentAudit
+from repro.errors import AnalysisError
+
+
+def audit(name, sizes, score, prob=None, redundancy=2):
+    ranking = [
+        RankedRiskGroup(rank=i + 1, events=frozenset(f"e{i}-{j}" for j in range(s)))
+        for i, s in enumerate(sizes)
+    ]
+    return DeploymentAudit(
+        deployment=name,
+        sources=(f"{name}-1", f"{name}-2"),
+        redundancy=redundancy,
+        ranking=ranking,
+        score=score,
+        ranking_method=RankingMethod.SIZE,
+        failure_probability=prob,
+    )
+
+
+class TestDeploymentAudit:
+    def test_unexpected_risk_groups(self):
+        a = audit("d", sizes=[1, 2, 2], score=5)
+        assert len(a.unexpected_risk_groups) == 1
+        assert a.has_unexpected_risk_groups
+
+    def test_no_unexpected(self):
+        assert not audit("d", sizes=[2, 3], score=5).has_unexpected_risk_groups
+
+    def test_top_risk_groups_limit(self):
+        a = audit("d", sizes=[1, 2, 2, 3], score=8)
+        assert len(a.top_risk_groups(2)) == 2
+
+    def test_to_dict_shape(self):
+        payload = audit("d", sizes=[1, 2], score=3, prob=0.1).to_dict()
+        assert payload["deployment"] == "d"
+        assert payload["failure_probability"] == 0.1
+        assert len(payload["ranking"]) == 2
+        assert payload["unexpected_risk_groups"] == [["e0-0"]]
+
+
+class TestAuditReport:
+    def make_report(self):
+        return AuditReport(
+            title="t",
+            audits=[
+                audit("worst", sizes=[1, 1], score=2, prob=0.5),
+                audit("best", sizes=[2, 2], score=4, prob=0.1),
+                audit("mid", sizes=[2, 2], score=4, prob=0.3),
+            ],
+            ranking_method=RankingMethod.SIZE,
+        )
+
+    def test_needs_audits(self):
+        with pytest.raises(AnalysisError):
+            AuditReport(title="t", audits=[], ranking_method=RankingMethod.SIZE)
+
+    def test_method_consistency_enforced(self):
+        bad = audit("x", sizes=[1], score=1)
+        bad.ranking_method = RankingMethod.PROBABILITY
+        with pytest.raises(AnalysisError, match="ranking method"):
+            AuditReport(
+                title="t", audits=[bad], ranking_method=RankingMethod.SIZE
+            )
+
+    def test_size_ranking_descends_then_probability_breaks_ties(self):
+        report = self.make_report()
+        names = [a.deployment for a in report.ranked_deployments()]
+        assert names == ["best", "mid", "worst"]
+
+    def test_probability_method_ascends(self):
+        audits = []
+        for name, score in (("good", 0.1), ("bad", 0.9)):
+            a = audit(name, sizes=[1], score=score)
+            a.ranking_method = RankingMethod.PROBABILITY
+            audits.append(a)
+        report = AuditReport(
+            title="t", audits=audits, ranking_method=RankingMethod.PROBABILITY
+        )
+        assert report.best().deployment == "good"
+
+    def test_deployments_without_unexpected_rgs(self):
+        report = self.make_report()
+        safe = report.deployments_without_unexpected_rgs()
+        assert {a.deployment for a in safe} == {"best", "mid"}
+
+    def test_render_text_flags_unexpected(self):
+        text = self.make_report().render_text()
+        assert "unexpected risk group" in text
+        assert "1. best" in text
+
+    def test_to_json_round_trips(self):
+        payload = json.loads(self.make_report().to_json())
+        assert payload["title"] == "t"
+        assert payload["deployments"][0]["deployment"] == "best"
+
+    def test_summary_counts(self):
+        summary = self.make_report().summary()
+        assert "3 deployments" in summary
+        assert "2 without" in summary
+        assert "best" in summary

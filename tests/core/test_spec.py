@@ -1,0 +1,75 @@
+"""Unit tests for audit specifications."""
+
+import pytest
+
+from repro import AuditSpec, DetailLevel, RGAlgorithm, RankingMethod
+from repro.errors import SpecificationError
+
+
+class TestValidation:
+    def test_minimal_valid_spec(self):
+        spec = AuditSpec(deployment="d", servers=("a", "b"))
+        assert spec.redundancy == 2
+        assert spec.level is DetailLevel.FAULT_GRAPH
+        assert spec.algorithm is RGAlgorithm.MINIMAL
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deployment": "", "servers": ("a",)},
+            {"deployment": "d", "servers": ()},
+            {"deployment": "d", "servers": ("a", "a")},
+            {"deployment": "d", "servers": ("a",), "required": 2},
+            {"deployment": "d", "servers": ("a",), "required": 0},
+            {"deployment": "d", "servers": ("a",), "sampling_rounds": 0},
+            {"deployment": "d", "servers": ("a",), "sampling_probability": 0.0},
+            {"deployment": "d", "servers": ("a",), "sampling_probability": 1.0},
+            {"deployment": "d", "servers": ("a",), "top_n": 0},
+            {"deployment": "d", "servers": ("a",), "max_order": 0},
+            {"deployment": "d", "servers": ("a",), "level": "fault-graph"},
+            {"deployment": "d", "servers": ("a",), "algorithm": "minimal"},
+            {"deployment": "d", "servers": ("a",), "ranking": "size"},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(SpecificationError):
+            AuditSpec(**kwargs)
+
+    def test_servers_normalised_to_tuple(self):
+        spec = AuditSpec(deployment="d", servers=["a", "b"])
+        assert spec.servers == ("a", "b")
+
+    def test_destinations_normalised(self):
+        spec = AuditSpec(
+            deployment="d", servers=("a",), destinations=["Internet"]
+        )
+        assert spec.destinations == ("Internet",)
+
+
+class TestWithServers:
+    def test_clone_keeps_parameters(self):
+        base = AuditSpec(
+            deployment="base",
+            servers=("a", "b"),
+            algorithm=RGAlgorithm.SAMPLING,
+            sampling_rounds=123,
+            ranking=RankingMethod.SIZE,
+            top_n=3,
+            seed=9,
+        )
+        clone = base.with_servers(("x", "y"))
+        assert clone.deployment == "x & y"
+        assert clone.servers == ("x", "y")
+        assert clone.algorithm is RGAlgorithm.SAMPLING
+        assert clone.sampling_rounds == 123
+        assert clone.top_n == 3
+        assert clone.seed == 9
+
+    def test_clone_caps_required(self):
+        base = AuditSpec(deployment="b", servers=("a", "b", "c"), required=3)
+        clone = base.with_servers(("x", "y"))
+        assert clone.required == 2
+
+    def test_explicit_name(self):
+        base = AuditSpec(deployment="b", servers=("a",))
+        assert base.with_servers(("x",), deployment="D").deployment == "D"

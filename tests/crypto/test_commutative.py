@@ -1,0 +1,95 @@
+"""Unit tests for commutative (Pohlig–Hellman/SRA) encryption."""
+
+import pytest
+
+from repro.crypto import CommutativeKey, SharedGroup, hash_to_group
+from repro.errors import CryptoError
+
+
+@pytest.fixture(scope="module")
+def group() -> SharedGroup:
+    return SharedGroup.with_bits(768)
+
+
+@pytest.fixture(scope="module")
+def keys(group):
+    return CommutativeKey(group, seed=1), CommutativeKey(group, seed=2)
+
+
+class TestSharedGroup:
+    def test_non_prime_rejected(self):
+        with pytest.raises(CryptoError):
+            SharedGroup(prime=100)
+
+    def test_non_safe_prime_rejected(self):
+        # 13 is prime but (13-1)/2 = 6 is not.
+        with pytest.raises(CryptoError):
+            SharedGroup(prime=13)
+
+    def test_element_bytes(self, group):
+        assert group.element_bytes == 96  # 768 bits
+
+
+class TestHashToGroup:
+    def test_deterministic(self, group):
+        assert hash_to_group("libc6", group) == hash_to_group("libc6", group)
+
+    def test_distinct_elements_differ(self, group):
+        assert hash_to_group("libc6", group) != hash_to_group("libssl", group)
+
+    def test_result_is_quadratic_residue(self, group):
+        value = hash_to_group("anything", group)
+        # Euler's criterion: v^((p-1)/2) == 1 for QRs.
+        assert pow(value, (group.prime - 1) // 2, group.prime) == 1
+
+    def test_empty_element_rejected(self, group):
+        with pytest.raises(CryptoError):
+            hash_to_group("", group)
+
+
+class TestCommutativeKey:
+    def test_round_trip(self, group, keys):
+        a, _ = keys
+        m = hash_to_group("element", group)
+        assert a.decrypt(a.encrypt(m)) == m
+
+    def test_commutativity(self, group, keys):
+        a, b = keys
+        m = hash_to_group("element", group)
+        assert a.encrypt(b.encrypt(m)) == b.encrypt(a.encrypt(m))
+
+    def test_nested_decrypt_any_order(self, group, keys):
+        a, b = keys
+        m = hash_to_group("element", group)
+        double = a.encrypt(b.encrypt(m))
+        assert a.decrypt(b.decrypt(double)) == m
+        assert b.decrypt(a.decrypt(double)) == m
+
+    def test_equal_plaintexts_equal_ciphertexts(self, group, keys):
+        """The property P-SOP relies on: deterministic matching."""
+        a, b = keys
+        m = hash_to_group("libc6@2.19", group)
+        assert a.encrypt(b.encrypt(m)) == b.encrypt(a.encrypt(m))
+
+    def test_different_keys_different_ciphertexts(self, group, keys):
+        a, b = keys
+        m = hash_to_group("element", group)
+        assert a.encrypt(m) != b.encrypt(m)
+
+    def test_out_of_range_rejected(self, group, keys):
+        a, _ = keys
+        with pytest.raises(CryptoError):
+            a.encrypt(0)
+        with pytest.raises(CryptoError):
+            a.decrypt(group.prime)
+
+    def test_encrypt_many(self, group, keys):
+        a, _ = keys
+        values = [hash_to_group(f"e{i}", group) for i in range(5)]
+        assert a.encrypt_many(values) == [a.encrypt(v) for v in values]
+
+    def test_deterministic_key_for_seed(self, group):
+        k1 = CommutativeKey(group, seed=42)
+        k2 = CommutativeKey(group, seed=42)
+        m = hash_to_group("x", group)
+        assert k1.encrypt(m) == k2.encrypt(m)

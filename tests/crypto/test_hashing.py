@@ -1,0 +1,66 @@
+"""Unit tests for hash families and digests."""
+
+import pytest
+
+from repro.crypto import HashFamily, element_digest
+from repro.errors import CryptoError
+
+
+class TestHashFamily:
+    def test_deterministic(self):
+        family = HashFamily(size=4, seed=1)
+        assert family(0, "libc6") == family(0, "libc6")
+
+    def test_members_independent(self):
+        family = HashFamily(size=8, seed=1)
+        values = {family(i, "libc6") for i in range(8)}
+        assert len(values) == 8
+
+    def test_seeds_change_family(self):
+        assert HashFamily(4, seed=1)(0, "x") != HashFamily(4, seed=2)(0, "x")
+
+    def test_64_bit_range(self):
+        family = HashFamily(size=2, seed=0)
+        value = family(0, "element")
+        assert 0 <= value < 2**64
+
+    def test_index_bounds(self):
+        family = HashFamily(size=2, seed=0)
+        with pytest.raises(CryptoError):
+            family(2, "x")
+        with pytest.raises(CryptoError):
+            family(-1, "x")
+
+    def test_functions_list(self):
+        family = HashFamily(size=3, seed=0)
+        funcs = family.functions()
+        assert len(funcs) == 3
+        assert funcs[1]("e") == family(1, "e")
+
+    def test_min_element(self):
+        family = HashFamily(size=1, seed=0)
+        pool = ["a", "b", "c", "d"]
+        winner = family.min_element(0, pool)
+        assert winner == min(pool, key=lambda e: (family(0, e), e))
+
+    def test_min_element_empty_rejected(self):
+        with pytest.raises(CryptoError):
+            HashFamily(1).min_element(0, [])
+
+    def test_invalid_size(self):
+        with pytest.raises(CryptoError):
+            HashFamily(size=0)
+
+
+class TestElementDigest:
+    def test_stable(self):
+        assert element_digest("x") == element_digest("x")
+
+    def test_length(self):
+        assert len(element_digest("x", length=8)) == 8
+
+    def test_invalid_length(self):
+        with pytest.raises(CryptoError):
+            element_digest("x", length=0)
+        with pytest.raises(CryptoError):
+            element_digest("x", length=64)

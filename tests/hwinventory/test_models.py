@@ -1,0 +1,39 @@
+"""Unit tests for the hardware catalogue."""
+
+import pytest
+
+from repro.errors import DependencyDataError
+from repro.hwinventory import (
+    CATALOGUE,
+    ComponentModel,
+    component_types,
+    models_of_type,
+)
+
+
+class TestCatalogue:
+    def test_types_cover_essentials(self):
+        types = component_types()
+        for essential in ("CPU", "Disk", "NIC", "RAM"):
+            assert essential in types
+
+    def test_models_of_type(self):
+        disks = models_of_type("Disk")
+        assert all(m.type == "Disk" for m in disks)
+        assert len(disks) >= 2  # batches need choice
+
+    def test_unknown_type(self):
+        with pytest.raises(DependencyDataError):
+            models_of_type("Quantum")
+
+    def test_failure_rates_valid(self):
+        for model in CATALOGUE:
+            assert 0.0 <= model.annual_failure_rate <= 1.0
+
+    def test_model_names_unique(self):
+        names = [m.model for m in CATALOGUE]
+        assert len(names) == len(set(names))
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(DependencyDataError):
+            ComponentModel("CPU", "X", 1.5)

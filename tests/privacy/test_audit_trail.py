@@ -1,0 +1,111 @@
+"""Unit tests for signed PIA audit trails (§5.2)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.privacy import (
+    AuditTrail,
+    commit_component_set,
+    meta_audit,
+)
+
+KEYS = {"Cloud1": b"secret-1", "Cloud2": b"secret-2"}
+SET_V1 = ["router:10.0.0.1", "package:libc6@2.19", "package:libssl@1.0.1"]
+
+
+class TestCommitment:
+    def test_order_independent(self):
+        a = commit_component_set(["x", "y"], salt="s")
+        b = commit_component_set(["y", "x"], salt="s")
+        assert a == b
+
+    def test_salt_changes_commitment(self):
+        assert commit_component_set(["x"], "s1") != commit_component_set(
+            ["x"], "s2"
+        )
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ProtocolError):
+            commit_component_set([], "s")
+        with pytest.raises(ProtocolError):
+            commit_component_set(["x"], "")
+
+
+class TestTrail:
+    def test_record_and_verify(self):
+        trail = AuditTrail(KEYS)
+        trail.record("Cloud1", "run-1", SET_V1, salt="s1", timestamp=1.0)
+        trail.record("Cloud1", "run-2", SET_V1, salt="s2", timestamp=2.0)
+        assert trail.verify_chain("Cloud1")
+        assert len(trail.entries("Cloud1")) == 2
+        assert trail.entries("Cloud2") == []
+
+    def test_chain_links_previous_entries(self):
+        trail = AuditTrail(KEYS)
+        first = trail.record("Cloud1", "run-1", SET_V1, "s", timestamp=1.0)
+        second = trail.record("Cloud1", "run-2", SET_V1, "s", timestamp=2.0)
+        assert first.previous == "0" * 64
+        assert second.previous != first.previous
+
+    def test_tampered_entry_breaks_verification(self):
+        trail = AuditTrail(KEYS)
+        trail.record("Cloud1", "run-1", SET_V1, "s", timestamp=1.0)
+        entry = trail._entries[0]
+        object.__setattr__(entry, "set_size", 99)  # tamper
+        assert not trail.verify_chain("Cloud1")
+
+    def test_unknown_provider_rejected(self):
+        trail = AuditTrail(KEYS)
+        with pytest.raises(ProtocolError):
+            trail.record("Mallory", "run-1", SET_V1, "s")
+
+    def test_needs_keys(self):
+        with pytest.raises(ProtocolError):
+            AuditTrail({})
+
+
+class TestMetaAudit:
+    def make_trail(self) -> AuditTrail:
+        trail = AuditTrail(KEYS)
+        trail.record("Cloud1", "run-1", SET_V1, salt="s1", timestamp=1.0)
+        return trail
+
+    def test_honest_provider_passes(self):
+        finding = meta_audit(
+            self.make_trail(), "Cloud1", "run-1", SET_V1, salt="s1"
+        )
+        assert finding.honest
+        assert not finding.reasons
+
+    def test_wrong_disclosure_caught(self):
+        finding = meta_audit(
+            self.make_trail(),
+            "Cloud1",
+            "run-1",
+            SET_V1[:-1],  # hides one component now
+            salt="s1",
+        )
+        assert not finding.honest
+        assert any("commitment" in r for r in finding.reasons)
+
+    def test_under_declaration_caught_with_ground_truth(self):
+        """The §5.2 cheat: commit to a subset of the real components."""
+        trail = AuditTrail(KEYS)
+        declared = SET_V1[:-1]
+        trail.record("Cloud1", "run-1", declared, salt="s1", timestamp=1.0)
+        finding = meta_audit(
+            trail,
+            "Cloud1",
+            "run-1",
+            declared,
+            salt="s1",
+            ground_truth=SET_V1,  # an on-site sweep found the real set
+        )
+        assert not finding.honest
+        assert any("under-declared" in r for r in finding.reasons)
+
+    def test_missing_run_caught(self):
+        finding = meta_audit(
+            self.make_trail(), "Cloud1", "run-404", SET_V1, salt="s1"
+        )
+        assert not finding.honest

@@ -1,0 +1,90 @@
+"""Unit tests for the Kissner-Song baseline protocol."""
+
+import pytest
+
+from repro.crypto import generate_keypair
+from repro.errors import ProtocolError
+from repro.privacy import KSParty, KSProtocol
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    """One small keypair shared by tests (keygen dominates runtime)."""
+    return generate_keypair(bits=256, seed=0)
+
+
+def run_ks(datasets: dict, keypair) -> "KSResult":
+    parties = [
+        KSParty(name, elements, seed=i)
+        for i, (name, elements) in enumerate(datasets.items())
+    ]
+    return KSProtocol(parties, keypair=keypair).run()
+
+
+class TestCorrectness:
+    def test_two_party_intersection(self, keypair):
+        result = run_ks(
+            {"A": ["x", "y", "z"], "B": ["y", "z", "w"]}, keypair
+        )
+        assert result.intersection == 2
+
+    def test_three_party_intersection(self, keypair):
+        result = run_ks(
+            {
+                "A": ["common", "a1", "a2"],
+                "B": ["common", "b1"],
+                "C": ["common", "c1", "a1"],
+            },
+            keypair,
+        )
+        assert result.intersection == 1
+
+    def test_disjoint(self, keypair):
+        assert run_ks({"A": ["a"], "B": ["b"]}, keypair).intersection == 0
+
+    def test_identical(self, keypair):
+        result = run_ks({"A": ["x", "y"], "B": ["y", "x"]}, keypair)
+        assert result.intersection == 2
+
+    def test_duplicates_deduplicated(self, keypair):
+        result = run_ks({"A": ["x", "x", "y"], "B": ["x"]}, keypair)
+        assert result.intersection == 1
+
+
+class TestAccounting:
+    def test_bandwidth_grows_superlinearly_with_parties(self, keypair):
+        """Threshold decryption makes KS traffic grow O(k^3): the Fig-8a
+        "much faster than P-SOP" behaviour."""
+        two = run_ks({"A": ["x"], "B": ["y"]}, keypair)
+        four = run_ks(
+            {"A": ["x"], "B": ["y"], "C": ["z"], "D": ["w"]}, keypair
+        )
+        assert four.total_bytes > 6 * two.total_bytes
+
+    def test_ciphertexts_are_double_width(self, keypair):
+        public, _ = keypair
+        result = run_ks({"A": ["x"], "B": ["y"]}, keypair)
+        assert result.ciphertext_bytes == public.ciphertext_bytes
+        # Paillier ciphertexts live mod n^2: twice the modulus width.
+        assert result.ciphertext_bytes >= 2 * ((public.n.bit_length()) // 8)
+
+    def test_metadata_records_degree(self, keypair):
+        result = run_ks({"A": ["x", "y"], "B": ["z"]}, keypair)
+        # Masked polynomials have degree 2*|S|; aggregated = max.
+        assert result.metadata["aggregated_degree"] == 4
+
+
+class TestValidation:
+    def test_needs_two_parties(self, keypair):
+        with pytest.raises(ProtocolError):
+            KSProtocol([KSParty("A", ["x"])], keypair=keypair)
+
+    def test_duplicate_names(self, keypair):
+        with pytest.raises(ProtocolError):
+            KSProtocol(
+                [KSParty("A", ["x"]), KSParty("A", ["y"])], keypair=keypair
+            )
+
+    def test_empty_dataset(self):
+        with pytest.raises(ProtocolError):
+            KSParty("A", [])

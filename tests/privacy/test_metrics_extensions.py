@@ -1,0 +1,74 @@
+"""Unit tests for the Sørensen–Dice metric and n-of-m PIA audits."""
+
+import pytest
+
+from repro.errors import AnalysisError, ProtocolError
+from repro.privacy import PIAAuditor, jaccard, sorensen_dice
+
+
+class TestSorensenDice:
+    def test_two_sets(self):
+        # |∩|=1, sizes 2+2: D = 2*1/4 = 0.5
+        assert sorensen_dice([{"a", "b"}, {"b", "c"}]) == pytest.approx(0.5)
+
+    def test_relation_to_jaccard(self):
+        left = {f"s{i}" for i in range(30)} | {f"l{i}" for i in range(10)}
+        right = {f"s{i}" for i in range(30)} | {f"r{i}" for i in range(20)}
+        j = jaccard([left, right])
+        d = sorensen_dice([left, right])
+        assert d == pytest.approx(2 * j / (1 + j))
+
+    def test_multi_way(self):
+        sets = [{"x", "a"}, {"x", "b"}, {"x", "c"}]
+        assert sorensen_dice(sets) == pytest.approx(3 * 1 / 6)
+
+    def test_identical_sets(self):
+        assert sorensen_dice([{"a"}, {"a"}]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            sorensen_dice([{"a"}])
+        with pytest.raises(AnalysisError):
+            sorensen_dice([{"a"}, set()])
+
+
+class TestNOfMAudit:
+    SETS = {
+        "C1": ["x", "a1", "a2"],
+        "C2": ["x", "b1"],
+        "C3": ["x", "c1", "c2", "c3"],
+        "C4": ["y1", "y2"],
+    }
+
+    def test_entries_cover_n_subsets_plus_full_pool(self):
+        auditor = PIAAuditor(self.SETS, protocol="plaintext")
+        report = auditor.audit_n_of_m(2, providers=list(self.SETS))
+        deployments = {e.deployment for e in report.entries}
+        assert (tuple(self.SETS),) [0] in deployments  # the all-m entry
+        assert len(deployments) == 6 + 1  # C(4,2) + full pool
+
+    def test_n_equals_m_has_no_duplicate_entry(self):
+        auditor = PIAAuditor(self.SETS, protocol="plaintext")
+        report = auditor.audit_n_of_m(4, providers=list(self.SETS))
+        assert len(report.entries) == 1
+
+    def test_ranking_ascending(self):
+        auditor = PIAAuditor(self.SETS, protocol="plaintext")
+        report = auditor.audit_n_of_m(2, providers=list(self.SETS))
+        values = [e.jaccard for e in report.entries]
+        assert values == sorted(values)
+        # C4 shares nothing with C1/C2: a disjoint pair ranks first.
+        assert report.best().jaccard == 0.0
+
+    def test_metadata_records_n_and_m(self):
+        auditor = PIAAuditor(self.SETS, protocol="plaintext")
+        report = auditor.audit_n_of_m(3, providers=list(self.SETS))
+        assert report.metadata["n"] == 3
+        assert report.metadata["m"] == 4
+
+    def test_invalid_n_rejected(self):
+        auditor = PIAAuditor(self.SETS, protocol="plaintext")
+        with pytest.raises(ProtocolError):
+            auditor.audit_n_of_m(1, providers=list(self.SETS))
+        with pytest.raises(ProtocolError):
+            auditor.audit_n_of_m(5, providers=list(self.SETS))

@@ -1,0 +1,92 @@
+"""Unit tests for MinHash Jaccard estimation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import HashFamily
+from repro.errors import AnalysisError
+from repro.privacy import estimate_jaccard, jaccard, minhash_signature
+
+
+@pytest.fixture(scope="module")
+def family() -> HashFamily:
+    return HashFamily(size=256, seed=0)
+
+
+class TestSignature:
+    def test_signature_size(self, family):
+        sig = minhash_signature(["a", "b", "c"], family)
+        assert sig.size == 256
+
+    def test_deterministic(self, family):
+        a = minhash_signature(["a", "b"], family)
+        b = minhash_signature(["b", "a"], family)
+        assert a == b  # order independent
+
+    def test_empty_rejected(self, family):
+        with pytest.raises(AnalysisError):
+            minhash_signature([], family)
+
+    def test_slot_elements_tagged(self, family):
+        sig = minhash_signature(["a"], family)
+        elements = sig.slot_elements()
+        assert len(elements) == 256
+        assert elements[0].startswith("0:")
+        assert elements[255].startswith("255:")
+
+
+class TestEstimation:
+    def test_identical_sets_estimate_one(self, family):
+        sig = minhash_signature(["a", "b", "c"], family)
+        assert estimate_jaccard([sig, sig]) == 1.0
+
+    def test_disjoint_sets_estimate_near_zero(self, family):
+        a = minhash_signature([f"a{i}" for i in range(50)], family)
+        b = minhash_signature([f"b{i}" for i in range(50)], family)
+        assert estimate_jaccard([a, b]) < 0.05
+
+    def test_estimation_accuracy_half_overlap(self, family):
+        left = [f"s{i}" for i in range(100)] + [f"l{i}" for i in range(50)]
+        right = [f"s{i}" for i in range(100)] + [f"r{i}" for i in range(50)]
+        true = jaccard([set(left), set(right)])
+        sig_l = minhash_signature(left, family)
+        sig_r = minhash_signature(right, family)
+        assert estimate_jaccard([sig_l, sig_r]) == pytest.approx(true, abs=0.1)
+
+    def test_multi_way_estimation(self, family):
+        shared = [f"s{i}" for i in range(60)]
+        sigs = [
+            minhash_signature(shared + [f"p{p}-{i}" for i in range(20)], family)
+            for p in range(3)
+        ]
+        true = 60 / (60 + 3 * 20)
+        assert estimate_jaccard(sigs) == pytest.approx(true, abs=0.12)
+
+    def test_mismatched_sizes_rejected(self, family):
+        a = minhash_signature(["x"], family)
+        b = minhash_signature(["x"], HashFamily(size=16, seed=0))
+        with pytest.raises(AnalysisError):
+            estimate_jaccard([a, b])
+
+    def test_single_signature_rejected(self, family):
+        with pytest.raises(AnalysisError):
+            estimate_jaccard([minhash_signature(["x"], family)])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    shared=st.integers(10, 60),
+    left=st.integers(0, 40),
+    right=st.integers(0, 40),
+)
+def test_minhash_error_within_broder_bound(shared, left, right):
+    """Property: |estimate - truth| stays within ~3 standard errors."""
+    family = HashFamily(size=400, seed=7)
+    shared_items = [f"s{i}" for i in range(shared)]
+    set_l = shared_items + [f"l{i}" for i in range(left)]
+    set_r = shared_items + [f"r{i}" for i in range(right)]
+    true = jaccard([set(set_l), set(set_r)])
+    estimate = estimate_jaccard(
+        [minhash_signature(set_l, family), minhash_signature(set_r, family)]
+    )
+    assert abs(estimate - true) <= 3.5 / (400**0.5)

@@ -1,0 +1,81 @@
+"""Unit tests for PIA component normalisation (§4.2.3)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.privacy import (
+    normalize_component_set,
+    normalize_package,
+    normalize_router,
+)
+
+
+class TestNormalizeRouter:
+    def test_ip_kept_verbatim(self):
+        assert normalize_router("192.168.1.254").identifier == "192.168.1.254"
+
+    def test_name_lowercased(self):
+        assert normalize_router("ISP-Router-EAST").identifier == (
+            "isp-router-east"
+        )
+
+    def test_kind(self):
+        assert str(normalize_router("10.0.0.1")) == "router:10.0.0.1"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            normalize_router("  ")
+
+    def test_same_router_from_two_providers_matches(self):
+        a = normalize_router("PEERING-GW-1")
+        b = normalize_router("peering-gw-1")
+        assert a == b
+
+
+class TestNormalizePackage:
+    def test_at_form_kept(self):
+        assert normalize_package("libc6@2.19").identifier == "libc6@2.19"
+
+    def test_equals_form_rewritten(self):
+        assert normalize_package("openssl=1.0.1k").identifier == (
+            "openssl@1.0.1k"
+        )
+
+    def test_space_form_rewritten(self):
+        assert normalize_package("zlib1g 1.2.8").identifier == "zlib1g@1.2.8"
+
+    def test_bare_name_gets_unknown_version(self):
+        assert normalize_package("libssl").identifier == "libssl@unknown"
+
+    def test_case_insensitive(self):
+        assert normalize_package("LibC6@2.19") == normalize_package(
+            "libc6@2.19"
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            normalize_package("")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProtocolError):
+            normalize_package("@@@")
+
+
+class TestNormalizeComponentSet:
+    def test_combines_kinds(self):
+        components = normalize_component_set(
+            routers=["10.0.0.1"], packages=["libc6@2.19"]
+        )
+        assert components == frozenset(
+            {"router:10.0.0.1", "package:libc6@2.19"}
+        )
+
+    def test_kinds_do_not_collide(self):
+        components = normalize_component_set(
+            routers=["shared"], packages=["shared"]
+        )
+        assert len(components) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            normalize_component_set()

@@ -1,0 +1,124 @@
+"""Integration tests for the PIA auditor (Table 2 pipeline)."""
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.privacy import PIAAuditor
+from repro.swinventory import (
+    CLOUDS,
+    all_stack_packages,
+    expected_jaccard,
+)
+
+SMALL_SETS = {
+    "P1": ["a", "b", "c", "shared"],
+    "P2": ["d", "e", "shared"],
+    "P3": ["f", "shared", "b"],
+}
+
+
+class TestPlaintextProtocol:
+    def test_measure_single_deployment(self):
+        auditor = PIAAuditor(SMALL_SETS, protocol="plaintext")
+        value, estimated, n_bytes = auditor.measure(("P1", "P2"))
+        assert value == pytest.approx(1 / 6)
+        assert not estimated
+        assert n_bytes == 0
+
+    def test_audit_ranks_ascending(self):
+        auditor = PIAAuditor(SMALL_SETS, protocol="plaintext")
+        report = auditor.audit(ways=2)
+        values = [e.jaccard for e in report.entries]
+        assert values == sorted(values)
+        assert report.best().jaccard == min(values)
+
+    def test_ranks_are_one_based_consecutive(self):
+        report = PIAAuditor(SMALL_SETS, protocol="plaintext").audit(ways=2)
+        assert [e.rank for e in report.entries] == [1, 2, 3]
+
+    def test_three_way(self):
+        report = PIAAuditor(SMALL_SETS, protocol="plaintext").audit(ways=3)
+        assert len(report.entries) == 1
+        # intersection {shared}; union {a,b,c,d,e,f,shared} -> 1/7
+        assert report.entries[0].jaccard == pytest.approx(1 / 7)
+
+    def test_report_serialisation(self):
+        report = PIAAuditor(SMALL_SETS, protocol="plaintext").audit(ways=2)
+        payload = json.loads(report.to_json())
+        assert payload["protocol"] == "plaintext"
+        assert len(payload["entries"]) == 3
+        text = report.render_text()
+        assert "Rank" in text and "P1 & P2" in text
+
+
+class TestPSOPProtocol:
+    def test_psop_matches_plaintext(self):
+        psop = PIAAuditor(SMALL_SETS, protocol="psop", group_bits=768, seed=0)
+        plain = PIAAuditor(SMALL_SETS, protocol="plaintext")
+        p_report = psop.audit(ways=2)
+        t_report = plain.audit(ways=2)
+        assert [e.deployment for e in p_report.entries] == [
+            e.deployment for e in t_report.entries
+        ]
+        for measured, truth in zip(p_report.entries, t_report.entries):
+            assert measured.jaccard == pytest.approx(truth.jaccard)
+        assert p_report.total_bytes > 0
+
+    def test_minhash_estimates(self):
+        sets = {
+            "A": [f"s{i}" for i in range(60)] + [f"a{i}" for i in range(20)],
+            "B": [f"s{i}" for i in range(60)] + [f"b{i}" for i in range(20)],
+        }
+        auditor = PIAAuditor(
+            sets, protocol="psop-minhash", group_bits=768,
+            minhash_size=128, seed=1,
+        )
+        value, estimated, _ = auditor.measure(("A", "B"))
+        assert estimated
+        assert value == pytest.approx(60 / 100, abs=0.15)
+
+
+class TestTable2EndToEnd:
+    def test_plaintext_reproduces_table_2_rankings(self):
+        auditor = PIAAuditor(all_stack_packages(), protocol="plaintext")
+        two = auditor.audit(ways=2, providers=list(CLOUDS))
+        assert two.entries[0].deployment == ("Cloud2", "Cloud4")
+        assert two.entries[-1].deployment == ("Cloud1", "Cloud2")
+        three = auditor.audit(ways=3, providers=list(CLOUDS))
+        assert three.entries[0].deployment == ("Cloud2", "Cloud3", "Cloud4")
+        for entry in two.entries:
+            assert entry.jaccard == pytest.approx(
+                expected_jaccard(entry.deployment)
+            )
+
+    def test_no_entry_significantly_correlated(self):
+        report = PIAAuditor(all_stack_packages(), protocol="plaintext").audit(
+            ways=2
+        )
+        assert not any(e.significantly_correlated for e in report.entries)
+
+
+class TestValidation:
+    def test_needs_two_providers(self):
+        with pytest.raises(ProtocolError):
+            PIAAuditor({"only": ["x"]})
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ProtocolError):
+            PIAAuditor(SMALL_SETS, protocol="magic")
+
+    def test_empty_provider_set(self):
+        with pytest.raises(ProtocolError):
+            PIAAuditor({"A": [], "B": ["x"]})
+
+    def test_measure_unknown_provider(self):
+        auditor = PIAAuditor(SMALL_SETS, protocol="plaintext")
+        with pytest.raises(ProtocolError, match="unknown providers"):
+            auditor.measure(("P1", "ghost"))
+
+    def test_measure_single_provider(self):
+        auditor = PIAAuditor(SMALL_SETS, protocol="plaintext")
+        with pytest.raises(ProtocolError):
+            auditor.measure(("P1",))

@@ -1,0 +1,53 @@
+"""Unit tests for the toy SMPC baseline."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.privacy import smpc_intersection_cardinality
+
+
+class TestCorrectness:
+    def test_intersection_counted(self):
+        result = smpc_intersection_cardinality(
+            ["x", "y", "z"], ["y", "z", "w"], seed=0
+        )
+        assert result.intersection == 2
+
+    def test_disjoint(self):
+        assert smpc_intersection_cardinality(["a"], ["b"]).intersection == 0
+
+    def test_identical(self):
+        result = smpc_intersection_cardinality(["a", "b"], ["b", "a"])
+        assert result.intersection == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            smpc_intersection_cardinality([], ["a"])
+
+
+class TestCost:
+    def test_quadratic_multiplications(self):
+        result = smpc_intersection_cardinality(
+            [f"a{i}" for i in range(10)], [f"b{i}" for i in range(7)]
+        )
+        assert result.multiplications == 70
+
+    def test_bandwidth_grows_quadratically(self):
+        small = smpc_intersection_cardinality(
+            [f"a{i}" for i in range(5)], [f"b{i}" for i in range(5)]
+        )
+        big = smpc_intersection_cardinality(
+            [f"a{i}" for i in range(10)], [f"b{i}" for i in range(10)]
+        )
+        # 4x the pairs => roughly 4x the traffic.
+        assert big.total_bytes > 3 * small.total_bytes
+
+    def test_this_is_why_indaas_uses_psop(self):
+        """The §7 claim: SMPC cost explodes on a few hundred elements."""
+        result = smpc_intersection_cardinality(
+            [f"a{i}" for i in range(50)], [f"b{i}" for i in range(50)]
+        )
+        per_pair_bytes = result.total_bytes / result.multiplications
+        elements = 100_000
+        projected_gb = (elements**2 * per_pair_bytes) / 1e9
+        assert projected_gb > 1000  # utterly impractical at cloud scale

@@ -1,0 +1,81 @@
+"""Unit tests for the package model and dependency closure."""
+
+import pytest
+
+from repro.errors import DependencyDataError
+from repro.swinventory import Package, PackageUniverse
+
+
+class TestPackage:
+    def test_identifier(self):
+        assert Package("libc6", "2.19").identifier == "libc6@2.19"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DependencyDataError):
+            Package("", "1.0")
+
+    def test_empty_version_rejected(self):
+        with pytest.raises(DependencyDataError):
+            Package("x", "")
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(DependencyDataError):
+            Package("x", "1.0", depends=("x",))
+
+
+class TestPackageUniverse:
+    def make(self) -> PackageUniverse:
+        return PackageUniverse(
+            [
+                Package("app", "1.0", depends=("liba", "libb")),
+                Package("liba", "2.0", depends=("libc",)),
+                Package("libb", "1.1", depends=("libc",)),
+                Package("libc", "2.19"),
+            ]
+        )
+
+    def test_closure_is_transitive(self):
+        assert self.make().closure("app") == frozenset(
+            {"liba", "libb", "libc"}
+        )
+
+    def test_closure_excludes_root(self):
+        assert "app" not in self.make().closure("app")
+
+    def test_leaf_closure_empty(self):
+        assert self.make().closure("libc") == frozenset()
+
+    def test_closure_identifiers(self):
+        ids = self.make().closure_identifiers("liba")
+        assert ids == frozenset({"libc@2.19"})
+
+    def test_cycles_tolerated(self):
+        universe = PackageUniverse(
+            [
+                Package("a", "1", depends=("b",)),
+                Package("b", "1", depends=("a",)),
+            ]
+        )
+        # a -> b -> a terminates; the cycle puts both in the closure.
+        assert universe.closure("a") == frozenset({"a", "b"})
+
+    def test_duplicate_package_rejected(self):
+        universe = self.make()
+        with pytest.raises(DependencyDataError):
+            universe.add(Package("app", "9.9"))
+
+    def test_unknown_package_rejected(self):
+        with pytest.raises(DependencyDataError):
+            self.make().closure("ghost")
+
+    def test_validate_catches_dangling_deps(self):
+        universe = PackageUniverse([Package("a", "1", depends=("ghost",))])
+        with pytest.raises(DependencyDataError, match="unknown"):
+            universe.validate()
+
+    def test_reverse_dependencies_blast_radius(self):
+        universe = self.make()
+        assert universe.reverse_dependencies("libc") == frozenset(
+            {"app", "liba", "libb"}
+        )
+        assert universe.reverse_dependencies("app") == frozenset()

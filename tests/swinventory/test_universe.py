@@ -1,0 +1,54 @@
+"""Unit tests for the synthetic package-universe generator."""
+
+import pytest
+
+from repro.errors import DependencyDataError
+from repro.swinventory import BASE_LIBRARIES, generate_universe
+
+
+class TestGenerateUniverse:
+    def test_requested_size(self):
+        universe = generate_universe(packages=80, seed=0)
+        assert len(universe) == 80
+
+    def test_deterministic_for_seed(self):
+        a = generate_universe(packages=60, seed=7)
+        b = generate_universe(packages=60, seed=7)
+        assert sorted(a.names()) == sorted(b.names())
+        for name in a.names():
+            assert a.get(name).depends == b.get(name).depends
+
+    def test_different_seeds_differ(self):
+        a = generate_universe(packages=60, seed=1)
+        b = generate_universe(packages=60, seed=2)
+        deps_a = {n: a.get(n).depends for n in a.names()}
+        deps_b = {n: b.get(n).depends for n in b.names()}
+        assert deps_a != deps_b
+
+    def test_base_libraries_present(self):
+        universe = generate_universe(packages=50, seed=0)
+        for name, _version in BASE_LIBRARIES:
+            assert name in universe
+
+    def test_validates(self):
+        generate_universe(packages=100, seed=3).validate()
+
+    def test_acyclic_layering(self):
+        universe = generate_universe(packages=100, layers=5, seed=4)
+        # Layered construction forbids cycles: closure never contains self.
+        for name in universe.names():
+            assert name not in universe.closure(name)
+
+    def test_base_libraries_are_popular(self):
+        universe = generate_universe(packages=150, seed=5)
+        libc_rdeps = len(universe.reverse_dependencies("libc6"))
+        # libc6 should be depended on by a large share of the universe.
+        assert libc_rdeps > len(universe) * 0.3
+
+    def test_too_few_packages_rejected(self):
+        with pytest.raises(DependencyDataError):
+            generate_universe(packages=5)
+
+    def test_too_few_layers_rejected(self):
+        with pytest.raises(DependencyDataError):
+            generate_universe(packages=50, layers=1)

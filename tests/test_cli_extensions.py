@@ -1,0 +1,65 @@
+"""Tests for the drift and importance CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+V1 = (
+    '<src="S1" dst="Internet" route="tor1,agg1,core1"/>\n'
+    '<src="S2" dst="Internet" route="tor2,agg2,core2"/>\n'
+)
+V2 = (
+    '<src="S1" dst="Internet" route="tor1,agg1,core1"/>\n'
+    '<src="S2" dst="Internet" route="tor2,agg1,core2"/>\n'
+)
+
+
+@pytest.fixture
+def snapshots(tmp_path):
+    before = tmp_path / "v1.txt"
+    after = tmp_path / "v2.txt"
+    before.write_text(V1)
+    after.write_text(V2)
+    return str(before), str(after)
+
+
+class TestDriftCommand:
+    def test_regression_exits_2(self, snapshots, capsys):
+        before, after = snapshots
+        code = main(["drift", before, after, "--servers", "S1,S2"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "REGRESSED" in out
+        assert "device:agg1" in out
+
+    def test_no_change_exits_0(self, snapshots, capsys):
+        before, _after = snapshots
+        code = main(["drift", before, before, "--servers", "S1,S2"])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_probability_flag(self, snapshots, capsys):
+        before, after = snapshots
+        code = main(
+            ["drift", before, after, "--servers", "S1,S2",
+             "--probability", "0.1"]
+        )
+        assert code == 2
+
+
+class TestImportanceCommand:
+    def test_ranking_printed(self, snapshots, capsys):
+        _before, after = snapshots
+        code = main(
+            ["importance", after, "--servers", "S1,S2", "--top", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # The shared aggregation switch dominates every measure.
+        first = out.splitlines()[1]
+        assert "device:agg1" in first
+        assert "I_B" in first
+
+    def test_bad_servers_handled(self, snapshots, capsys):
+        _before, after = snapshots
+        assert main(["importance", after, "--servers", ","]) == 1

@@ -1,0 +1,93 @@
+"""Unit tests for the reconstructed Benson data center (§6.2.1)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.topology import (
+    CANDIDATE_RACKS,
+    GROUP_A_RACKS,
+    GROUP_B_RACKS,
+    GROUP_C_RACKS,
+    DatacenterPlan,
+    DeviceType,
+    benson_datacenter,
+)
+
+
+@pytest.fixture(scope="module")
+def plan() -> DatacenterPlan:
+    return DatacenterPlan()
+
+
+@pytest.fixture(scope="module")
+def topo(plan):
+    return benson_datacenter(plan)
+
+
+class TestPlanStructure:
+    def test_twenty_candidates(self, plan):
+        assert len(plan.candidates) == 20
+        assert plan.candidates == CANDIDATE_RACKS
+
+    def test_groups_partition_the_candidates(self):
+        all_groups = set(GROUP_A_RACKS) | set(GROUP_B_RACKS) | set(GROUP_C_RACKS)
+        assert len(all_groups) == 20
+        assert not set(GROUP_A_RACKS) & set(GROUP_B_RACKS)
+        assert not set(GROUP_A_RACKS) & set(GROUP_C_RACKS)
+
+    def test_group_sizes_give_27_safe_pairs(self):
+        assert len(GROUP_A_RACKS) * len(GROUP_B_RACKS) == 27
+        assert len(list(combinations(CANDIDATE_RACKS, 2))) == 190
+
+    def test_uplinks_by_group(self, plan):
+        assert plan.uplink(5) == ("b1", "c1")
+        assert plan.uplink(29) == ("b2", "c2")
+        assert plan.uplink(10) == ("b1", "c2")
+
+    def test_racks_5_and_29_are_direct(self, plan):
+        assert not plan.has_patch_switch(5)
+        assert not plan.has_patch_switch(29)
+        assert plan.has_patch_switch(6)
+
+    def test_route_devices(self, plan):
+        assert plan.route_devices(5) == ("e5", "b1", "c1")
+        assert plan.route_devices(6) == ("e6", "m6", "b1", "c1")
+
+    def test_safe_pairs_are_exactly_a_cross_b(self, plan):
+        safe = 0
+        for left, right in combinations(plan.candidates, 2):
+            shared = set(plan.route_devices(left)) & set(
+                plan.route_devices(right)
+            )
+            crosses = {left, right} <= set(GROUP_A_RACKS) | set(
+                GROUP_B_RACKS
+            ) and (
+                (left in GROUP_A_RACKS) != (right in GROUP_A_RACKS)
+            )
+            if not shared:
+                safe += 1
+                assert crosses, (left, right)
+        assert safe == 27
+
+
+class TestTopology:
+    def test_thirty_three_tors(self, topo):
+        assert len(topo.devices(DeviceType.TOR)) == 33
+
+    def test_four_routers(self, topo):
+        assert {d.name for d in topo.devices(DeviceType.CORE)} == {"c1", "c2"}
+        assert {d.name for d in topo.devices(DeviceType.AGGREGATION)} == {
+            "b1",
+            "b2",
+        }
+
+    def test_one_server_per_rack(self, topo, plan):
+        assert len(topo.servers()) == plan.racks
+
+    def test_connected(self, topo):
+        topo.validate_connected()
+
+    def test_direct_rack_has_no_patch_switch(self, topo):
+        assert "m5" not in topo
+        assert "m6" in topo

@@ -1,0 +1,92 @@
+"""Unit tests for the topology model."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Device, DeviceType, Topology
+
+
+@pytest.fixture
+def topo() -> Topology:
+    t = Topology("test")
+    t.add_device("s1", DeviceType.SERVER)
+    t.add_device("tor1", DeviceType.TOR)
+    t.add_device("core1", DeviceType.CORE)
+    t.add_link("s1", "tor1")
+    t.add_link("tor1", "core1")
+    return t
+
+
+class TestConstruction:
+    def test_duplicate_device_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            topo.add_device("s1", DeviceType.SERVER)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TopologyError):
+            Device("", DeviceType.SERVER)
+
+    def test_self_link_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            topo.add_link("s1", "s1")
+
+    def test_link_to_unknown_device(self, topo):
+        with pytest.raises(TopologyError):
+            topo.add_link("s1", "ghost")
+
+    def test_parallel_links(self, topo):
+        links = topo.add_link("s1", "core1", count=2)
+        assert len(links) == 2
+        assert topo.link_count("s1", "core1") == 2
+        assert links[0].name != links[1].name
+
+    def test_parallel_links_accumulate(self, topo):
+        topo.add_link("s1", "core1")
+        topo.add_link("s1", "core1")
+        assert topo.link_count("s1", "core1") == 2
+        assert len(topo.links_between("s1", "core1")) == 2
+
+
+class TestInspection:
+    def test_neighbors(self, topo):
+        assert topo.neighbors("tor1") == ["s1", "core1"]
+
+    def test_devices_by_type(self, topo):
+        assert [d.name for d in topo.devices(DeviceType.SERVER)] == ["s1"]
+        assert len(topo.devices()) == 3
+
+    def test_counts(self, topo):
+        counts = topo.counts()
+        assert counts["server"] == 1
+        assert counts["total"] == 3
+
+    def test_counts_exclude_external_from_total(self, topo):
+        topo.add_device("Internet", DeviceType.EXTERNAL)
+        assert topo.counts()["total"] == 3
+
+    def test_switching_devices(self, topo):
+        names = {d.name for d in topo.switching_devices()}
+        assert names == {"tor1", "core1"}
+
+    def test_unknown_device_raises(self, topo):
+        with pytest.raises(TopologyError):
+            topo.device("ghost")
+
+
+class TestInterop:
+    def test_to_networkx_simple(self, topo):
+        g = topo.to_networkx()
+        assert g.number_of_nodes() == 3
+        assert g.has_edge("s1", "tor1")
+
+    def test_to_networkx_multigraph_keeps_parallels(self, topo):
+        topo.add_link("s1", "core1", count=2)
+        g = topo.to_networkx(multigraph=True)
+        assert g.number_of_edges("s1", "core1") == 2
+
+    def test_validate_connected(self, topo):
+        topo.validate_connected()
+        topo.add_device("island", DeviceType.SERVER)
+        with pytest.raises(TopologyError, match="not connected"):
+            topo.validate_connected()
+        topo.validate_connected(among=["s1", "core1"])  # still fine

@@ -1,0 +1,75 @@
+"""Unit tests for the Jellyfish topology generator."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import DeviceType
+from repro.topology.jellyfish import JellyfishConfig, jellyfish
+from repro.topology.routing import shortest_routes
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"switches": 2},
+            {"switches": 8, "degree": 1},
+            {"switches": 8, "degree": 8},
+            {"switches": 5, "degree": 3},        # odd product
+            {"servers_per_switch": 0},
+            {"gateways": 0},
+            {"gateways": 99},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(TopologyError):
+            JellyfishConfig(**kwargs)
+
+
+class TestGenerated:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return jellyfish(JellyfishConfig(switches=12, degree=4, seed=1))
+
+    def test_census(self, topo):
+        counts = topo.counts()
+        assert counts["tor"] == 12
+        assert counts["server"] == 24
+
+    def test_regular_degree(self, topo):
+        for i in range(12):
+            switch_neighbors = [
+                n for n in topo.neighbors(f"jf-sw{i}")
+                if n.startswith("jf-sw")
+            ]
+            assert len(switch_neighbors) == 4
+
+    def test_connected_with_internet(self, topo):
+        topo.validate_connected()
+        routes = shortest_routes(topo, "jf-srv5-0", "Internet")
+        assert routes
+
+    def test_deterministic_for_seed(self):
+        a = jellyfish(JellyfishConfig(switches=10, degree=3, seed=7))
+        b = jellyfish(JellyfishConfig(switches=10, degree=3, seed=7))
+        assert {l.name for l in a.links()} == {l.name for l in b.links()}
+
+    def test_different_seeds_differ(self):
+        a = jellyfish(JellyfishConfig(switches=10, degree=3, seed=1))
+        b = jellyfish(JellyfishConfig(switches=10, degree=3, seed=2))
+        assert {l.name for l in a.links()} != {l.name for l in b.links()}
+
+    def test_auditable_end_to_end(self, topo):
+        """Jellyfish feeds the same pipeline as the fat tree."""
+        from repro import AuditSpec, SIAAuditor
+        from repro.acquisition import NetworkDependencyCollector
+        from repro.depdb import DepDB
+
+        db = DepDB()
+        NetworkDependencyCollector(
+            topo, servers=["jf-srv5-0", "jf-srv8-0"], max_routes=6
+        ).collect_into(db)
+        audit = SIAAuditor(db).audit_deployment(
+            AuditSpec(deployment="jf", servers=("jf-srv5-0", "jf-srv8-0"))
+        )
+        assert audit.ranking

@@ -1,0 +1,103 @@
+"""Unit tests for route enumeration."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.topology import (
+    FatTreeConfig,
+    fat_tree,
+    fat_tree_routes,
+    internet_facing_servers,
+    lab_cloud,
+    route_devices,
+    shortest_routes,
+    storage_sample,
+)
+
+
+class TestShortestRoutes:
+    def test_lab_cloud_ecmp(self):
+        topo = lab_cloud()
+        routes = shortest_routes(topo, "Server1", "Internet")
+        assert routes == [("Switch1", "Core1"), ("Switch1", "Core2")]
+
+    def test_storage_sample_matches_figure_3(self):
+        topo = storage_sample()
+        routes = shortest_routes(topo, "S1", "Internet")
+        assert routes == [("ToR1", "Core1"), ("ToR1", "Core2")]
+
+    def test_max_routes_cap(self):
+        topo = lab_cloud()
+        routes = shortest_routes(topo, "Server1", "Internet", max_routes=1)
+        assert len(routes) == 1
+
+    def test_unknown_device(self):
+        with pytest.raises(RoutingError):
+            shortest_routes(lab_cloud(), "ghost", "Internet")
+
+    def test_no_path(self):
+        from repro.topology import DeviceType, Topology
+
+        topo = Topology()
+        topo.add_device("a", DeviceType.SERVER)
+        topo.add_device("b", DeviceType.SERVER)
+        with pytest.raises(RoutingError, match="no route"):
+            shortest_routes(topo, "a", "b")
+
+
+class TestFatTreeRoutes:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return FatTreeConfig(ports=4)
+
+    @pytest.fixture(scope="class")
+    def topo(self, config):
+        return fat_tree(config)
+
+    def test_internet_route_count(self, config):
+        routes = fat_tree_routes(config, "srv-p0-t0-0")
+        assert len(routes) == (config.ports // 2) ** 2  # 4 for k=4
+
+    def test_closed_form_matches_networkx(self, config, topo):
+        closed = set(fat_tree_routes(config, "srv-p0-t0-0"))
+        searched = set(shortest_routes(topo, "srv-p0-t0-0", "Internet"))
+        assert closed == searched
+
+    def test_cross_pod_routes(self, config, topo):
+        closed = set(fat_tree_routes(config, "srv-p0-t0-0", "srv-p1-t1-0"))
+        searched = set(shortest_routes(topo, "srv-p0-t0-0", "srv-p1-t1-0"))
+        assert closed == searched
+
+    def test_same_pod_routes(self, config, topo):
+        closed = set(fat_tree_routes(config, "srv-p0-t0-0", "srv-p0-t1-0"))
+        searched = set(shortest_routes(topo, "srv-p0-t0-0", "srv-p0-t1-0"))
+        assert closed == searched
+
+    def test_same_tor_route(self, config):
+        routes = fat_tree_routes(config, "srv-p0-t0-0", "srv-p0-t0-1")
+        assert routes == [("pod0-tor0",)]
+
+    def test_max_routes_cap(self, config):
+        assert len(fat_tree_routes(config, "srv-p0-t0-0", max_routes=2)) == 2
+
+    def test_bad_server_name(self, config):
+        with pytest.raises(RoutingError):
+            fat_tree_routes(config, "not-a-server")
+
+
+class TestHelpers:
+    def test_route_devices_validates(self):
+        topo = lab_cloud()
+        devices = route_devices(topo, [("Switch1", "Core1")])
+        assert devices == frozenset({"Switch1", "Core1"})
+        with pytest.raises(Exception):
+            route_devices(topo, [("nope",)])
+
+    def test_internet_facing_servers(self):
+        topo = lab_cloud()
+        assert internet_facing_servers(topo) == [
+            "Server1",
+            "Server2",
+            "Server3",
+            "Server4",
+        ]

@@ -1,0 +1,37 @@
+"""Unit tests for the Figure-2 sample storage system."""
+
+from repro.topology import StorageSamplePlan, storage_sample
+from repro.topology.storage_sample import SAMPLE_HARDWARE, SAMPLE_SOFTWARE
+
+
+class TestPlan:
+    def test_s1_s2_share_tor1(self):
+        plan = StorageSamplePlan()
+        assert plan.tor_of("S1") == plan.tor_of("S2") == "ToR1"
+        assert plan.tor_of("S3") == "ToR2"
+
+    def test_routes_match_figure_3(self):
+        plan = StorageSamplePlan()
+        assert plan.routes("S1") == (("ToR1", "Core1"), ("ToR1", "Core2"))
+
+    def test_software_matches_figure_3(self):
+        assert SAMPLE_SOFTWARE["S1"]["Riak1"] == ("libc6", "libsvn1")
+        assert SAMPLE_SOFTWARE["S2"]["QueryEngine2"] == ("libc6", "libgcc1")
+        assert SAMPLE_SOFTWARE["S3"] == {}
+
+    def test_hardware_models_embed_server_names(self):
+        for server, components in SAMPLE_HARDWARE.items():
+            for _type, model in components:
+                assert model.startswith(server)
+
+
+class TestTopology:
+    def test_census(self):
+        topo = storage_sample()
+        counts = topo.counts()
+        assert counts["server"] == 3
+        assert counts["tor"] == 2
+        assert counts["core"] == 2
+
+    def test_connected(self):
+        storage_sample().validate_connected()
