@@ -12,7 +12,6 @@
 from __future__ import annotations
 
 import time
-from itertools import combinations
 
 import numpy as np
 import pytest

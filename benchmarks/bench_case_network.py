@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.analysis import network_case_study
 
-ROUNDS = {"quick": 20_000, "paper": 1_000_000}
+ROUNDS = {"smoke": 6_000, "quick": 20_000, "paper": 1_000_000}
 
 
 def test_network_case_study(benchmark, emit, scale):

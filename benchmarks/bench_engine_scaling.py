@@ -1,0 +1,181 @@
+"""Engine scaling: batched/parallel sampling vs the seed serial sampler.
+
+ISSUE 1 acceptance: on the Figure-9 topology (half-shared component sets,
+2-way deployment), sampling throughput (rounds/sec at equal detection
+rate) must improve >= 3x over the seed sampler, whose post-processing ran
+a Python loop per failing round (witness extraction + greedy cut
+minimisation, one row at a time).  ``seed_reference_run`` below is a
+faithful copy of that loop over the still-available scalar
+:class:`CompiledGraph` methods; the library sampler now routes through
+:mod:`repro.engine.batch`.
+
+Also measured: the worker fan-out of :class:`AuditEngine` (a wash on a
+single-core runner, a further multiplier on real hardware — asserted
+only not to change results, which is the engine's determinism contract).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import ComponentSets, FailureSampler, minimal_risk_groups
+from repro.core.compile import CompiledGraph
+from repro.core.minimal_rg import minimise_family
+from repro.engine import AuditEngine
+
+PARAMS = {
+    "smoke": {"elements": 30, "rounds": 8_000},
+    "quick": {"elements": 40, "rounds": 40_000},
+    "paper": {"elements": 100, "rounds": 400_000},
+}
+
+MIN_SPEEDUP = 3.0
+
+
+def provider_sets(k: int, n: int) -> dict[str, list[str]]:
+    """Half-shared component-sets (the §6.3.3 setting, as in Figure 9)."""
+    half = n // 2
+    return {
+        f"P{i}": [f"shared-{j}" for j in range(half)]
+        + [f"p{i}-{j}" for j in range(n - half)]
+        for i in range(k)
+    }
+
+
+def seed_reference_run(graph, rounds, seed=0, batch_size=4096, p=0.5):
+    """The seed FailureSampler.run: NumPy evaluation, per-row Python
+    post-processing."""
+    compiled = CompiledGraph(graph)
+    rng = np.random.default_rng(seed)
+    top_failures = 0
+    collected: set[frozenset[str]] = set()
+    seen_raw: set[frozenset[int]] = set()
+    minimise_cache: dict[frozenset[str], frozenset[str]] = {}
+    remaining = rounds
+    while remaining > 0:
+        batch = min(batch_size, remaining)
+        remaining -= batch
+        failures = compiled.sample_failures(
+            batch, None, rng, default_probability=p
+        )
+        values = compiled.evaluate_batch(failures, return_all=True)
+        top_column = values[:, compiled.top_index]
+        top_failures += int(top_column.sum())
+        for row in np.flatnonzero(top_column):
+            raw = frozenset(np.flatnonzero(failures[row]).tolist())
+            seen_raw.add(raw)
+            witness = compiled.extract_witness(values[row], rng=rng)
+            minimal = minimise_cache.get(witness)
+            if minimal is None:
+                minimal = compiled.minimise_cut(witness, rng=rng)
+                minimise_cache[witness] = minimal
+            collected.add(minimal)
+    return minimise_family(collected), top_failures
+
+
+def test_engine_speedup_over_seed_sampler(benchmark, emit, scale):
+    params = PARAMS[scale]
+    graph = ComponentSets.from_mapping(
+        provider_sets(2, params["elements"])
+    ).to_fault_graph("fig9-2way")
+    rounds = params["rounds"]
+    reference = minimal_risk_groups(graph)
+
+    started = time.perf_counter()
+    seed_groups, _seed_top = seed_reference_run(graph, rounds)
+    seed_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = FailureSampler(graph, seed=0).run(rounds)
+    batched_seconds = time.perf_counter() - started
+
+    engine = AuditEngine(n_workers=2)
+    started = time.perf_counter()
+    fanned = engine.sample(graph, rounds, seed=0)
+    fanned_seconds = time.perf_counter() - started
+
+    seed_detection = len(set(seed_groups) & set(reference)) / len(reference)
+    batched_detection = batched.detection_rate(reference)
+    speedup = seed_seconds / batched_seconds
+    emit.table(
+        f"Engine scaling — fig9 2-way topology, {rounds} rounds "
+        f"({len(reference)} exact minimal RGs)",
+        ["sampler", "seconds", "rounds/s", "detection", "speedup"],
+        [
+            [
+                "seed serial (per-row Python)",
+                f"{seed_seconds:.3f}",
+                f"{rounds / seed_seconds:,.0f}",
+                f"{seed_detection:.1%}",
+                "1.0x",
+            ],
+            [
+                "batched engine (serial)",
+                f"{batched_seconds:.3f}",
+                f"{rounds / batched_seconds:,.0f}",
+                f"{batched_detection:.1%}",
+                f"{speedup:.1f}x",
+            ],
+            [
+                "batched engine (2 workers)",
+                f"{fanned_seconds:.3f}",
+                f"{rounds / fanned_seconds:,.0f}",
+                f"{fanned.detection_rate(reference):.1%}",
+                f"{seed_seconds / fanned_seconds:.1f}x",
+            ],
+        ],
+    )
+
+    # Equal-detection requirement: the batched engine may not trade
+    # accuracy for speed.
+    assert batched_detection >= seed_detection - 1e-9
+    # Parallel fan-out must not change results at all.
+    assert fanned.risk_groups == batched.risk_groups
+    assert fanned.top_failures == batched.top_failures
+    # The headline acceptance criterion.
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched engine only {speedup:.2f}x faster than the seed sampler"
+    )
+
+    benchmark.pedantic(
+        lambda: FailureSampler(graph, seed=0).run(rounds),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_cache_speedup_on_repeated_audits(benchmark, emit, scale):
+    """Repeated audits of one structure skip recompilation via the cache."""
+    params = PARAMS[scale]
+    graph = ComponentSets.from_mapping(
+        provider_sets(2, params["elements"])
+    ).to_fault_graph("fig9-2way")
+    engine = AuditEngine()
+    repeats = 20
+
+    started = time.perf_counter()
+    for _ in range(repeats):
+        CompiledGraph(graph)
+    uncached_seconds = time.perf_counter() - started
+
+    engine.compile(graph)  # warm
+    started = time.perf_counter()
+    for _ in range(repeats):
+        engine.compile(graph)
+    cached_seconds = time.perf_counter() - started
+
+    emit.table(
+        f"Graph cache — {repeats} repeated compilations",
+        ["variant", "seconds"],
+        [
+            ["uncached CompiledGraph()", f"{uncached_seconds:.4f}"],
+            ["engine cache (structural hash)", f"{cached_seconds:.4f}"],
+        ],
+    )
+    assert cached_seconds < uncached_seconds
+    assert engine.cache.info()["hits"] == repeats
+    benchmark.pedantic(
+        lambda: engine.compile(graph), rounds=3, iterations=1
+    )

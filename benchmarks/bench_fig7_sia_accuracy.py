@@ -28,8 +28,17 @@ from repro.depdb import DepDB
 from repro.topology import TOPOLOGY_C, FatTreeConfig, fat_tree, fat_tree_routes
 
 #: Scaled stand-ins for topologies A/B/C (same fat-tree structure).
-SCALED = {"quick": {"A": 4, "B": 6, "C": 8}, "paper": {"A": 8, "B": 12, "C": 16}}
+SCALED = {
+    "smoke": {"A": 4, "B": 4, "C": 6},
+    "quick": {"A": 4, "B": 6, "C": 8},
+    "paper": {"A": 8, "B": 12, "C": 16},
+}
 ROUND_SERIES = {
+    "smoke": {
+        "A": (100, 1_000, 5_000),
+        "B": (500, 2_000, 10_000),
+        "C": (1_000, 5_000, 20_000),
+    },
     "quick": {
         "A": (100, 1_000, 10_000),
         "B": (1_000, 10_000, 30_000),

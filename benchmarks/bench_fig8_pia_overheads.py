@@ -22,6 +22,12 @@ from repro.crypto import SharedGroup, generate_keypair
 from repro.privacy import KSParty, KSProtocol, PSOPParty, PSOPProtocol
 
 PARAMS = {
+    "smoke": {
+        "sizes": (32, 64, 128),
+        "ks_sizes": (16, 32, 64),
+        "group_bits": 512,
+        "ks_bits": 256,
+    },
     "quick": {
         "sizes": (50, 100, 200),
         "ks_sizes": (25, 50, 100),

@@ -26,6 +26,14 @@ from repro.crypto import SharedGroup, generate_keypair
 from repro.privacy import KSParty, KSProtocol, PSOPParty, PSOPProtocol
 
 PARAMS = {
+    "smoke": {
+        "providers": (3, 4, 5),
+        "elements": 20,
+        "group_bits": 512,
+        "ks_bits": 256,
+        "sampling_rounds": 1_000,
+        "three_way_providers": (3, 4),
+    },
     "quick": {
         "providers": (4, 6, 8),
         "elements": 40,

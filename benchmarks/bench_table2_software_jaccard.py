@@ -19,7 +19,7 @@ from repro.swinventory import (
     PAPER_TABLE2_TWO_WAY,
 )
 
-GROUP_BITS = {"quick": 768, "paper": 1024}
+GROUP_BITS = {"smoke": 512, "quick": 768, "paper": 1024}
 
 
 def test_table2_private_audit(benchmark, emit, scale):

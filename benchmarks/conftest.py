@@ -9,6 +9,7 @@ machine, absolute numbers differ; each bench therefore
 
 Scale is controlled with ``REPRO_BENCH_SCALE``:
 
+* ``smoke``  — seconds-scale parameters for CI; shapes still asserted;
 * ``quick``  (default) — minutes-scale parameters;
 * ``paper``  — parameters closer to the paper (hours-scale in places).
 
@@ -28,8 +29,10 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 def bench_scale() -> str:
     scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
-    if scale not in ("quick", "paper"):
-        raise ValueError(f"REPRO_BENCH_SCALE must be quick|paper, got {scale}")
+    if scale not in ("smoke", "quick", "paper"):
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be smoke|quick|paper, got {scale}"
+        )
     return scale
 
 

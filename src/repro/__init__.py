@@ -53,11 +53,13 @@ from repro.depdb import (
     NetworkDependency,
     SoftwareDependency,
 )
+from repro.engine import AuditEngine, GraphCache, structural_hash
 from repro.errors import IndaasError
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AuditEngine",
     "AuditReport",
     "AuditSpec",
     "ComponentSets",
@@ -69,6 +71,7 @@ __all__ = [
     "FaultGraph",
     "FaultSets",
     "GateType",
+    "GraphCache",
     "HardwareDependency",
     "IndaasError",
     "NetworkDependency",
@@ -86,6 +89,7 @@ __all__ = [
     "minimal_risk_groups",
     "rank_by_probability",
     "rank_by_size",
+    "structural_hash",
     "top_event_probability",
     "unexpected_risk_groups",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import re
 from collections import Counter
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 import numpy as np
 

@@ -14,18 +14,27 @@ dependency graph:
   mitigation and rank them by top-event probability reduction.
 
 Everything operates on copies; the input graph is never mutated.
+
+Mitigations are evaluated independently, so an
+:class:`~repro.engine.AuditEngine` turns a what-if sweep into a parallel
+map: pass ``engine=`` to fan candidates out across its workers and to
+reuse cached compilations of the (unchanged) baseline graph between
+sweeps.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
 from repro.core.bdd import compile_graph
 from repro.core.events import GateType, validate_probability
 from repro.core.faultgraph import FaultGraph
 from repro.core.minimal_rg import minimal_risk_groups, unexpected_risk_groups
 from repro.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.facade import AuditEngine
 
 __all__ = ["Harden", "Duplicate", "MitigationOutcome", "evaluate_mitigations"]
 
@@ -171,11 +180,30 @@ class MitigationOutcome:
         )
 
 
+def _evaluate_one_mitigation(
+    weighted: FaultGraph, mitigation: Mitigation, redundancy: int
+) -> tuple[float, int]:
+    """Apply one mitigation and measure Pr(top) + unexpected-RG count.
+
+    Module-level so an engine can ship it to worker processes.
+    """
+    mitigated = mitigation.apply(weighted)
+    probs = mitigated.probabilities()
+    after_probability = compile_graph(mitigated).probability(probs)
+    after_unexpected = len(
+        unexpected_risk_groups(
+            minimal_risk_groups(mitigated), expected_size=redundancy
+        )
+    )
+    return after_probability, after_unexpected
+
+
 def evaluate_mitigations(
     graph: FaultGraph,
     mitigations: Sequence[Mitigation],
     probabilities: Optional[Mapping[str, float]] = None,
     redundancy: int = 2,
+    engine: Optional["AuditEngine"] = None,
 ) -> list[MitigationOutcome]:
     """Rank candidate mitigations by top-event probability reduction.
 
@@ -184,6 +212,10 @@ def evaluate_mitigations(
         mitigations: Candidates to evaluate (each applied in isolation).
         probabilities: Weights (read from the graph if omitted).
         redundancy: Expected minimal-RG size for unexpected-RG counting.
+        engine: Optional :class:`~repro.engine.AuditEngine`; candidates
+            are evaluated across its worker processes and the baseline
+            graph's BDD comes from its cache.  Results are identical with
+            or without an engine.
 
     Returns:
         Outcomes sorted best-first (largest probability reduction).
@@ -196,30 +228,37 @@ def evaluate_mitigations(
     weighted = graph.map_probabilities(
         lambda e: base_probs.get(e.name, e.probability)
     )
-    before_probability = compile_graph(weighted).probability(base_probs)
+    compile_baseline = engine.compile_bdd if engine is not None else compile_graph
+    before_probability = compile_baseline(weighted).probability(base_probs)
     before_unexpected = len(
         unexpected_risk_groups(
             minimal_risk_groups(weighted), expected_size=redundancy
         )
     )
-    outcomes = []
-    for mitigation in mitigations:
-        mitigated = mitigation.apply(weighted)
-        probs = mitigated.probabilities()
-        after_probability = compile_graph(mitigated).probability(probs)
-        after_unexpected = len(
-            unexpected_risk_groups(
-                minimal_risk_groups(mitigated), expected_size=redundancy
-            )
+    if engine is not None and engine.n_workers > 1 and len(mitigations) > 1:
+        from repro.engine.parallel import map_jobs
+
+        measurements = map_jobs(
+            _evaluate_one_mitigation,
+            [(weighted, m, redundancy) for m in mitigations],
+            engine.n_workers,
         )
-        outcomes.append(
-            MitigationOutcome(
-                mitigation=mitigation,
-                probability_before=before_probability,
-                probability_after=after_probability,
-                unexpected_before=before_unexpected,
-                unexpected_after=after_unexpected,
-            )
+    else:
+        measurements = [
+            _evaluate_one_mitigation(weighted, m, redundancy)
+            for m in mitigations
+        ]
+    outcomes = [
+        MitigationOutcome(
+            mitigation=mitigation,
+            probability_before=before_probability,
+            probability_after=after_probability,
+            unexpected_before=before_unexpected,
+            unexpected_after=after_unexpected,
         )
+        for mitigation, (after_probability, after_unexpected) in zip(
+            mitigations, measurements
+        )
+    ]
     outcomes.sort(key=lambda o: o.probability_after)
     return outcomes

@@ -7,6 +7,8 @@ Subcommands mirror the evaluation:
 * ``indaas case software``   — §6.2.3 private software audit (Table 2)
 * ``indaas topology``        — Table 3 fat-tree census
 * ``indaas audit``           — SIA audit of a DepDB file
+* ``indaas audit-many``      — concurrent audit of a directory of
+  deployment specs (engine-backed)
 * ``indaas drift``           — periodic audit across two DepDB snapshots
 * ``indaas importance``      — per-component importance measures
 * ``indaas example``         — Figure 4 worked example
@@ -68,6 +70,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     audit.add_argument("--rounds", type=int, default=100_000)
     audit.add_argument("--top", type=int, default=10)
+    audit.add_argument(
+        "--workers", type=int, default=0,
+        help=(
+            "engine worker processes for sampling audits "
+            "(0 = in-process, -1 = all cores; results are identical "
+            "for any worker count)"
+        ),
+    )
+
+    many = sub.add_parser(
+        "audit-many",
+        help="audit a directory of deployment spec files concurrently",
+    )
+    many.add_argument(
+        "specs",
+        help=(
+            "directory of *.json deployment specs (each names a DepDB "
+            "dump and the servers to audit; see DESIGN.md)"
+        ),
+    )
+    many.add_argument(
+        "--workers", type=int, default=-1,
+        help="worker processes (default -1 = all cores; 0 = in-process)",
+    )
+    many.add_argument("--top", type=int, default=5)
+    many.add_argument(
+        "--title", default="multi-deployment audit",
+        help="report title",
+    )
+    many.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of text",
+    )
 
     drift = sub.add_parser(
         "drift", help="compare two DepDB snapshots (periodic audit)"
@@ -161,6 +196,7 @@ def _run_audit(args: argparse.Namespace) -> int:
     from repro.core.audit import SIAAuditor
     from repro.core.spec import AuditSpec, RGAlgorithm
     from repro.depdb.database import DepDB
+    from repro.engine import AuditEngine
 
     with open(args.depdb, encoding="utf-8") as handle:
         depdb = DepDB.loads(handle.read())
@@ -175,12 +211,35 @@ def _run_audit(args: argparse.Namespace) -> int:
         ),
         sampling_rounds=args.rounds,
     )
-    audit = SIAAuditor(depdb).audit_deployment(spec)
+    engine = AuditEngine(n_workers=args.workers) if args.workers else None
+    audit = SIAAuditor(depdb, engine=engine).audit_deployment(spec)
     print(f"deployment: {audit.deployment}  (score={audit.score:.4g})")
     if audit.has_unexpected_risk_groups:
         print(f"!! {len(audit.unexpected_risk_groups)} unexpected risk groups")
     for entry in audit.top_risk_groups(args.top):
         print("  ", entry.describe())
+    return 0
+
+
+def _run_audit_many(args: argparse.Namespace) -> int:
+    from repro.engine import AuditEngine
+
+    engine = AuditEngine(n_workers=args.workers)
+    report = engine.audit_many(args.specs, title=args.title)
+    if args.json:
+        print(report.to_json())
+        return 0
+    print(report.render_text(top_rgs=args.top))
+    unexpected = [
+        audit.deployment
+        for audit in report.ranked_deployments()
+        if audit.has_unexpected_risk_groups
+    ]
+    if unexpected:
+        print(
+            f"!! {len(unexpected)} deployment(s) with unexpected risk "
+            f"groups: {', '.join(unexpected)}"
+        )
     return 0
 
 
@@ -296,6 +355,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_topology(args)
         if args.command == "audit":
             return _run_audit(args)
+        if args.command == "audit-many":
+            return _run_audit_many(args)
         if args.command == "drift":
             return _run_drift(args)
         if args.command == "importance":

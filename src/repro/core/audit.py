@@ -13,7 +13,8 @@ into a ranked :class:`~repro.core.report.AuditReport`:
 from __future__ import annotations
 
 import itertools
-from typing import Optional, Sequence
+import pickle
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.builder import Weigher, build_dependency_graph
 from repro.core.componentset import component_sets_from_graph
@@ -31,7 +32,23 @@ from repro.core.spec import AuditSpec, DetailLevel, RGAlgorithm
 from repro.depdb.database import DepDB
 from repro.errors import AnalysisError, SpecificationError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.engine.facade import AuditEngine
+
 __all__ = ["SIAAuditor"]
+
+
+def _audit_spec_worker(depdb, weigher, spec, block_size):
+    """Module-level job body for the engine's multi-deployment fan-out.
+
+    Each worker audits with a serial engine of the same block size, so
+    results are identical whether specs fan out or run in-process.
+    """
+    from repro.engine.facade import AuditEngine
+
+    worker_engine = AuditEngine(n_workers=1, block_size=block_size)
+    auditor = SIAAuditor(depdb, weigher=weigher, engine=worker_engine)
+    return auditor.audit_deployment(spec)
 
 
 class SIAAuditor:
@@ -41,11 +58,22 @@ class SIAAuditor:
         depdb: The dependency data collected from all data sources.
         weigher: Optional failure-probability source for leaf events
             (see :mod:`repro.failures` for realistic models).
+        engine: Optional :class:`~repro.engine.AuditEngine`.  When given,
+            sampling audits run through its compilation cache and worker
+            pool, and multi-spec :meth:`audit` calls fan deployments out
+            across processes (falling back to serial execution when the
+            weigher cannot be shipped to workers, e.g. a closure).
     """
 
-    def __init__(self, depdb: DepDB, weigher: Optional[Weigher] = None):
+    def __init__(
+        self,
+        depdb: DepDB,
+        weigher: Optional[Weigher] = None,
+        engine: Optional["AuditEngine"] = None,
+    ):
         self.depdb = depdb
         self.weigher = weigher
+        self.engine = engine
 
     # ------------------------------------------------------------------ #
     # Graph construction
@@ -90,13 +118,17 @@ class SIAAuditor:
             if spec.max_order is not None:
                 notes.append(f"cut sets truncated at order {spec.max_order}")
         else:
-            sampler = FailureSampler(
-                graph,
-                sample_probability=spec.sampling_probability,
-                seed=spec.seed,
-            )
-            result = sampler.run(spec.sampling_rounds)
+            if self.engine is not None:
+                result = self.engine.sample_spec(graph, spec)
+            else:
+                result = FailureSampler(
+                    graph,
+                    sample_probability=spec.sampling_probability,
+                    seed=spec.seed,
+                ).run(spec.sampling_rounds)
             groups = result.risk_groups
+            # The note deliberately omits engine/worker details: results
+            # (and therefore reports) are identical for any worker count.
             notes.append(
                 f"failure sampling: {spec.sampling_rounds} rounds, "
                 f"{result.top_failures} top failures, "
@@ -183,12 +215,39 @@ class SIAAuditor:
             raise SpecificationError(
                 "all specs in one report must share a ranking method"
             )
-        audits = [self.audit_deployment(spec) for spec in specs]
+        audits = self._run_audits(specs)
         return AuditReport(
             title=title,
             audits=audits,
             ranking_method=specs[0].ranking,
             client=client,
+        )
+
+    def _run_audits(self, specs: Sequence[AuditSpec]) -> list[DeploymentAudit]:
+        """Audit each spec, fanning out across the engine's workers.
+
+        Deployments are independent, so with an engine holding more than
+        one worker they run in separate processes.  The DepDB and weigher
+        must survive pickling for that; a weigher closure (the common
+        :func:`~repro.failures.uniform_weigher` shape) cannot, in which
+        case we quietly run serially — same results, one process.
+        """
+        engine = self.engine
+        if engine is None or engine.n_workers <= 1 or len(specs) <= 1:
+            return [self.audit_deployment(spec) for spec in specs]
+        try:
+            pickle.dumps((self.depdb, self.weigher))
+        except Exception:
+            return [self.audit_deployment(spec) for spec in specs]
+        from repro.engine.parallel import map_jobs
+
+        return map_jobs(
+            _audit_spec_worker,
+            [
+                (self.depdb, self.weigher, spec, engine.block_size)
+                for spec in specs
+            ],
+            engine.n_workers,
         )
 
     def compare_combinations(

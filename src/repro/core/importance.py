@@ -23,7 +23,7 @@ from typing import Mapping, Optional, Sequence
 
 from repro.core.bdd import BDD, compile_graph
 from repro.core.faultgraph import FaultGraph
-from repro.core.probability import cut_probability, union_probability
+from repro.core.probability import union_probability
 from repro.errors import AnalysisError
 
 __all__ = [

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.core.ranking import RankedRiskGroup, RankingMethod
 from repro.errors import AnalysisError

@@ -6,17 +6,23 @@ at random, propagate values bottom-up, and — whenever the top event fails —
 record the failing set as a risk group.  Aggregating many rounds yields a
 (non-deterministic, possibly non-minimal) RG collection.
 
-This implementation adds two engineering refinements over the paper's
-sketch, both documented in DESIGN.md:
+This implementation adds three engineering refinements over the paper's
+sketch, all documented in DESIGN.md:
 
-* **Vectorised batches** — rounds are evaluated in NumPy blocks rather
-  than one Python walk per round.
+* **Vectorised blocks** — rounds are sampled, evaluated *and
+  post-processed* in NumPy blocks (see :mod:`repro.engine.batch`); no
+  per-round Python loop survives on the hot path.
 * **Witness extraction + greedy minimisation** (on by default) — a raw
   failing set under fair coin flips contains ~half of all basic events and
   is useless as a risk group.  We first extract a small sufficient failing
   set top-down ("witness") and then greedily shrink it to a true minimal
   RG, which makes the Figure-7 metric ("% minimal RGs detected") well
   defined.  Disable with ``minimise=False`` to get the literal algorithm.
+* **Deterministic block seeding** — every block draws its generator from a
+  ``SeedSequence.spawn`` child, so the result of a run is a pure function
+  of ``(graph, parameters, seed)`` and is bit-identical whether the blocks
+  execute inline or across the worker processes of
+  :class:`~repro.engine.AuditEngine`.
 """
 
 from __future__ import annotations
@@ -30,9 +36,11 @@ import numpy as np
 from repro.core.compile import CompiledGraph
 from repro.core.faultgraph import FaultGraph
 from repro.core.minimal_rg import minimise_family
+from repro.engine.batch import BlockOutcome
+from repro.engine.parallel import plan_blocks, run_plan_serial
 from repro.errors import AnalysisError
 
-__all__ = ["FailureSampler", "SamplingResult"]
+__all__ = ["FailureSampler", "SamplingResult", "merge_block_outcomes"]
 
 
 @dataclass
@@ -74,6 +82,44 @@ class SamplingResult:
         return len(ref & found) / len(ref)
 
 
+def merge_block_outcomes(
+    outcomes: Sequence[BlockOutcome],
+    *,
+    minimised: bool,
+    sample_probability: Optional[float],
+    elapsed_seconds: float,
+    metadata: Optional[dict] = None,
+) -> SamplingResult:
+    """Fold per-block outcomes into one :class:`SamplingResult`.
+
+    Counts add, group/raw-fingerprint sets union, and the family is
+    absorption-minimised once at the end — all order-insensitive, so the
+    merge of a parallel run equals the merge of the same blocks run
+    serially.
+    """
+    if not outcomes:
+        raise AnalysisError("no block outcomes to merge")
+    rounds = sum(o.rounds for o in outcomes)
+    top_failures = sum(o.top_failures for o in outcomes)
+    collected: set[frozenset[str]] = set()
+    raw_keys: set[bytes] = set()
+    for outcome in outcomes:
+        collected |= outcome.groups
+        raw_keys |= outcome.raw_keys
+    groups = minimise_family(collected)
+    return SamplingResult(
+        rounds=rounds,
+        top_failures=top_failures,
+        risk_groups=sorted(groups, key=lambda s: (len(s), sorted(s))),
+        top_probability_estimate=top_failures / rounds,
+        elapsed_seconds=elapsed_seconds,
+        minimised=minimised,
+        sample_probability=sample_probability,
+        unique_failure_sets=len(raw_keys),
+        metadata=metadata or {},
+    )
+
+
 class FailureSampler:
     """Monte-Carlo risk-group detector over a fault graph.
 
@@ -89,7 +135,13 @@ class FailureSampler:
         minimise: Extract+minimise a true minimal RG from each failing
             round (see module docstring).
         seed: RNG seed; runs are reproducible for a fixed seed.
-        batch_size: Rounds evaluated per NumPy block.
+        batch_size: Rounds evaluated per NumPy block.  Part of the seeded
+            stream definition: changing it changes which random numbers
+            each round sees (the worker *count* of a parallel run, by
+            contrast, never does).
+        compiled: Optional pre-compiled form of ``graph`` (e.g. from an
+            engine's :class:`~repro.engine.cache.GraphCache`) to skip
+            recompilation.
     """
 
     def __init__(
@@ -100,6 +152,7 @@ class FailureSampler:
         minimise: bool = True,
         seed: Optional[int] = None,
         batch_size: int = 4096,
+        compiled: Optional[CompiledGraph] = None,
     ) -> None:
         if not 0.0 < sample_probability < 1.0:
             raise AnalysisError(
@@ -107,12 +160,12 @@ class FailureSampler:
             )
         if batch_size < 1:
             raise AnalysisError(f"batch_size must be >= 1, got {batch_size}")
-        self.compiled = CompiledGraph(graph)
+        self.compiled = compiled if compiled is not None else CompiledGraph(graph)
         self.graph = graph
         self.sample_probability = sample_probability
         self.minimise = minimise
         self.batch_size = batch_size
-        self._rng = np.random.default_rng(seed)
+        self._seed_sequence = np.random.SeedSequence(seed)
         self._weights: Optional[Sequence[float]] = None
         if use_weights:
             probs = graph.probabilities()
@@ -123,61 +176,20 @@ class FailureSampler:
         if rounds < 1:
             raise AnalysisError(f"rounds must be >= 1, got {rounds}")
         started = time.perf_counter()
-        compiled = self.compiled
-        top_failures = 0
-        collected: set[frozenset[str]] = set()
-        seen_raw: set[frozenset[int]] = set()
-        minimise_cache: dict[frozenset[str], frozenset[str]] = {}
-
-        remaining = rounds
-        while remaining > 0:
-            batch = min(self.batch_size, remaining)
-            remaining -= batch
-            failures = compiled.sample_failures(
-                batch,
-                self._weights,
-                self._rng,
-                default_probability=self.sample_probability,
-            )
-            values = compiled.evaluate_batch(failures, return_all=True)
-            top_column = values[:, compiled.top_index]
-            top_failures += int(top_column.sum())
-            for row in np.flatnonzero(top_column):
-                raw = frozenset(np.flatnonzero(failures[row]).tolist())
-                if self.minimise:
-                    seen_raw.add(raw)
-                    # Randomised extraction explores different risk groups
-                    # hidden inside the same failing assignment.
-                    witness = compiled.extract_witness(
-                        values[row], rng=self._rng
-                    )
-                    minimal = minimise_cache.get(witness)
-                    if minimal is None:
-                        minimal = compiled.minimise_cut(
-                            witness, rng=self._rng
-                        )
-                        minimise_cache[witness] = minimal
-                    collected.add(minimal)
-                else:
-                    if raw in seen_raw:
-                        continue
-                    seen_raw.add(raw)
-                    collected.add(
-                        frozenset(
-                            compiled.basic_names[i] for i in raw
-                        )
-                    )
-        groups = minimise_family(collected)
-        elapsed = time.perf_counter() - started
-        return SamplingResult(
-            rounds=rounds,
-            top_failures=top_failures,
-            risk_groups=sorted(groups, key=lambda s: (len(s), sorted(s))),
-            top_probability_estimate=top_failures / rounds,
-            elapsed_seconds=elapsed,
+        plan = plan_blocks(rounds, self.batch_size, self._seed_sequence)
+        outcomes = run_plan_serial(
+            self.compiled,
+            plan,
+            probabilities=self._weights,
+            default_probability=self.sample_probability,
+            minimise=self.minimise,
+        )
+        return merge_block_outcomes(
+            outcomes,
             minimised=self.minimise,
             sample_probability=(
                 None if self._weights is not None else self.sample_probability
             ),
-            unique_failure_sets=len(seen_raw),
+            elapsed_seconds=time.perf_counter() - started,
+            metadata={"blocks": len(plan), "batch_size": self.batch_size},
         )

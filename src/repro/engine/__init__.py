@@ -1,0 +1,69 @@
+"""Parallel, batched, cached analysis engine (see DESIGN.md).
+
+This package is the scaling layer on top of the §4.1 analysis core:
+
+* :mod:`repro.engine.cache` — structural-hash keyed compilation cache;
+* :mod:`repro.engine.batch` — whole-block NumPy witness extraction and
+  greedy cut minimisation (no per-round Python on the hot path);
+* :mod:`repro.engine.parallel` — deterministic block sharding with
+  ``SeedSequence.spawn`` and process fan-out;
+* :mod:`repro.engine.facade` — the :class:`AuditEngine` facade consumed
+  by :class:`~repro.core.audit.SIAAuditor`, the what-if analysis and the
+  ``indaas audit-many`` CLI verb.
+
+``facade`` is re-exported lazily: :mod:`repro.core.sampling` imports the
+batch/parallel layers at module load, so pulling the facade (which
+imports back into :mod:`repro.core`) eagerly here would create an import
+cycle.
+"""
+
+from repro.engine.batch import (
+    BlockOutcome,
+    extract_witnesses_batch,
+    minimise_cuts_batch,
+    run_block,
+)
+from repro.engine.cache import (
+    GraphCache,
+    compile_cached,
+    default_cache,
+    structural_hash,
+)
+from repro.engine.parallel import (
+    BlockPlan,
+    map_jobs,
+    plan_blocks,
+    resolve_workers,
+    run_plan_parallel,
+    run_plan_serial,
+)
+
+__all__ = [
+    "AuditEngine",
+    "AuditJob",
+    "BlockOutcome",
+    "BlockPlan",
+    "GraphCache",
+    "compile_cached",
+    "default_cache",
+    "extract_witnesses_batch",
+    "load_audit_job",
+    "map_jobs",
+    "minimise_cuts_batch",
+    "plan_blocks",
+    "resolve_workers",
+    "run_block",
+    "run_plan_parallel",
+    "run_plan_serial",
+    "structural_hash",
+]
+
+_LAZY = {"AuditEngine", "AuditJob", "load_audit_job"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.engine import facade
+
+        return getattr(facade, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,326 @@
+"""The :class:`AuditEngine` facade — cached, batched, parallel auditing.
+
+One engine object owns the three scaling mechanisms of this package and
+hands them to the rest of the system behind a small API:
+
+* a :class:`~repro.engine.cache.GraphCache` so repeated audits and
+  what-if sweeps stop recompiling identical graphs;
+* block-planned sampling (:func:`~repro.engine.parallel.plan_blocks`)
+  that runs inline or across worker processes with bit-identical results;
+* generic fan-out of independent audit jobs — many deployments, many
+  DepDBs — via :func:`~repro.engine.parallel.map_jobs`.
+
+Consumers: :class:`~repro.core.audit.SIAAuditor` (pass ``engine=``),
+:func:`~repro.analysis.whatif.evaluate_mitigations` (ditto), and the
+``indaas audit-many`` CLI verb.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.report import AuditReport, DeploymentAudit
+from repro.core.sampling import SamplingResult, merge_block_outcomes
+from repro.core.spec import AuditSpec, RGAlgorithm
+from repro.engine.cache import GraphCache
+from repro.engine.parallel import (
+    map_jobs,
+    plan_blocks,
+    resolve_workers,
+    run_plan_parallel,
+    run_plan_serial,
+)
+from repro.errors import AnalysisError, SpecificationError
+
+__all__ = ["AuditEngine", "AuditJob", "load_audit_job"]
+
+
+@dataclass
+class AuditJob:
+    """One self-contained deployment audit (spec + its own DepDB).
+
+    ``probability`` is an optional uniform component failure probability;
+    it travels as a plain float (weigher closures don't pickle) and each
+    worker builds its weigher locally.
+    """
+
+    depdb: object
+    spec: AuditSpec
+    probability: Optional[float] = None
+    metadata: dict = field(default_factory=dict)
+
+
+_JOB_ENGINE: Optional["AuditEngine"] = None
+
+
+def _run_audit_job(depdb, spec, probability):
+    """Module-level worker so jobs survive pickling into pool processes.
+
+    Each process keeps one serial engine so its compilation cache spans
+    all the jobs it serves.
+    """
+    from repro.core.audit import SIAAuditor
+    from repro.failures import uniform_weigher
+
+    global _JOB_ENGINE
+    if _JOB_ENGINE is None:
+        _JOB_ENGINE = AuditEngine(n_workers=1)
+    weigher = uniform_weigher(probability) if probability is not None else None
+    auditor = SIAAuditor(depdb, weigher=weigher, engine=_JOB_ENGINE)
+    return auditor.audit_deployment(spec)
+
+
+def load_audit_job(path: Union[str, Path]) -> AuditJob:
+    """Parse one ``audit-many`` deployment spec file.
+
+    The JSON schema (all paths relative to the spec file)::
+
+        {
+          "depdb": "web.depdb",          // required: DepDB dump to audit
+          "servers": ["S1", "S2"],       // required: redundant servers
+          "name": "web-tier",            // optional deployment name
+          "algorithm": "minimal",        // or "sampling"
+          "rounds": 100000,              // sampling rounds
+          "sample_probability": 0.5,     // sampling coin bias
+          "required": 1,                 // n of n-of-m redundancy
+          "seed": 0,                     // sampling seed
+          "probability": 0.1             // uniform component weigher
+        }
+    """
+    from repro.depdb import DepDB
+
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SpecificationError(f"{path}: cannot read spec: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SpecificationError(f"{path}: invalid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise SpecificationError(f"{path}: spec must be a JSON object")
+    for key in ("depdb", "servers"):
+        if key not in payload:
+            raise SpecificationError(f"{path}: missing required key {key!r}")
+    depdb_path = path.parent / payload["depdb"]
+    try:
+        depdb = DepDB.loads(depdb_path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SpecificationError(f"{path}: cannot read DepDB: {exc}")
+    servers = tuple(payload["servers"])
+    algorithm = payload.get("algorithm", "minimal")
+    if algorithm not in ("minimal", "sampling"):
+        raise SpecificationError(
+            f"{path}: algorithm must be minimal|sampling, got {algorithm!r}"
+        )
+    spec = AuditSpec(
+        deployment=payload.get("name") or " & ".join(servers),
+        servers=servers,
+        required=payload.get("required", 1),
+        algorithm=(
+            RGAlgorithm.SAMPLING
+            if algorithm == "sampling"
+            else RGAlgorithm.MINIMAL
+        ),
+        sampling_rounds=payload.get("rounds", 100_000),
+        sampling_probability=payload.get("sample_probability", 0.5),
+        seed=payload.get("seed", 0),
+    )
+    return AuditJob(
+        depdb=depdb,
+        spec=spec,
+        probability=payload.get("probability"),
+        metadata={"source": str(path)},
+    )
+
+
+class AuditEngine:
+    """Facade over graph caching, batched sampling and process fan-out.
+
+    Args:
+        n_workers: Worker processes for sampling blocks and audit jobs.
+            ``None``/``0``/``1`` run everything inline; a negative value
+            means "all cores".  The worker count never changes results —
+            only wall-clock time (see DESIGN.md on deterministic
+            sharding).
+        block_size: Sampling rounds per block; the unit of work shipped
+            to workers and the granularity of seeded streams.
+        cache: Optional shared :class:`GraphCache` (a private one is
+            created otherwise).
+    """
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        block_size: int = 4096,
+        cache: Optional[GraphCache] = None,
+    ) -> None:
+        if block_size < 1:
+            raise AnalysisError(f"block_size must be >= 1, got {block_size}")
+        self.n_workers = resolve_workers(n_workers)
+        self.block_size = block_size
+        self.cache = cache if cache is not None else GraphCache()
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+
+    def compile(self, graph):
+        """Cached array compilation of ``graph``."""
+        return self.cache.compile(graph)
+
+    def compile_bdd(self, graph):
+        """Cached BDD compilation of ``graph`` (exact probabilities)."""
+        return self.cache.compile_bdd(graph)
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    def sample(
+        self,
+        graph,
+        rounds: int,
+        *,
+        sample_probability: float = 0.5,
+        use_weights: bool = False,
+        minimise: bool = True,
+        seed: Optional[int] = None,
+    ) -> SamplingResult:
+        """Run a failure-sampling audit of ``graph``.
+
+        Exactly equivalent to ``FailureSampler(graph, ...).run(rounds)``
+        with ``batch_size=block_size`` — same blocks, same spawned seeds,
+        same merged result — but compiled through the cache and, when the
+        engine has workers, executed across processes.
+        """
+        if rounds < 1:
+            raise AnalysisError(f"rounds must be >= 1, got {rounds}")
+        if not 0.0 < sample_probability < 1.0:
+            raise AnalysisError(
+                f"sample_probability must be in (0,1), got {sample_probability}"
+            )
+        started = time.perf_counter()
+        plan = plan_blocks(
+            rounds, self.block_size, np.random.SeedSequence(seed)
+        )
+        parallel = self.n_workers > 1 and len(plan) > 1
+        weights = None
+        if use_weights:
+            probs = graph.probabilities()
+            # basic_names order comes from compilation; on the parallel
+            # path the cache makes this compile a one-off that every
+            # later call (and the workers) reuse.
+            names = self.compile(graph).basic_names
+            weights = [probs[n] for n in names]
+        if parallel:
+            # Workers compile through their process-local caches; don't
+            # pay for an unused parent-side compilation here.
+            outcomes = run_plan_parallel(
+                graph,
+                plan,
+                self.n_workers,
+                probabilities=weights,
+                default_probability=sample_probability,
+                minimise=minimise,
+            )
+        else:
+            outcomes = run_plan_serial(
+                self.compile(graph),
+                plan,
+                probabilities=weights,
+                default_probability=sample_probability,
+                minimise=minimise,
+            )
+        return merge_block_outcomes(
+            outcomes,
+            minimised=minimise,
+            sample_probability=None if weights is not None else sample_probability,
+            elapsed_seconds=time.perf_counter() - started,
+            metadata={
+                "engine": {
+                    "workers": self.n_workers,
+                    "blocks": len(plan),
+                    "block_size": self.block_size,
+                }
+            },
+        )
+
+    def sample_spec(self, graph, spec: AuditSpec) -> SamplingResult:
+        """Sample ``graph`` with the parameters of an :class:`AuditSpec`."""
+        return self.sample(
+            graph,
+            spec.sampling_rounds,
+            sample_probability=spec.sampling_probability,
+            seed=spec.seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Multi-deployment auditing
+    # ------------------------------------------------------------------ #
+
+    def audit_jobs(self, jobs: Sequence[AuditJob]) -> list[DeploymentAudit]:
+        """Audit independent deployment jobs, fanning out across workers."""
+        if not jobs:
+            raise SpecificationError("no audit jobs given")
+        return map_jobs(
+            _run_audit_job,
+            [(job.depdb, job.spec, job.probability) for job in jobs],
+            self.n_workers,
+        )
+
+    def audit_many(
+        self,
+        specs: Union[str, Path, Sequence[Union[str, Path]]],
+        title: str = "multi-deployment audit",
+        client: str = "",
+    ) -> AuditReport:
+        """Audit a directory (or list) of deployment spec files concurrently.
+
+        ``specs`` is either a directory containing ``*.json`` spec files
+        (see :func:`load_audit_job`) or an explicit list of file paths.
+        """
+        if isinstance(specs, (str, Path)):
+            root = Path(specs)
+            if not root.is_dir():
+                raise SpecificationError(f"{root} is not a directory")
+            paths = sorted(p for p in root.glob("*.json") if p.is_file())
+        else:
+            paths = [Path(p) for p in specs]
+        if not paths:
+            raise SpecificationError("no deployment spec files found")
+        jobs = [load_audit_job(p) for p in paths]
+        methods = {job.spec.ranking for job in jobs}
+        if len(methods) != 1:
+            raise SpecificationError(
+                "all specs in one report must share a ranking method"
+            )
+        audits = self.audit_jobs(jobs)
+        return AuditReport(
+            title=title,
+            audits=audits,
+            ranking_method=jobs[0].spec.ranking,
+            client=client,
+            metadata={
+                "engine": {"workers": self.n_workers},
+                "spec_files": [str(p) for p in paths],
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def info(self) -> dict:
+        return {
+            "workers": self.n_workers,
+            "block_size": self.block_size,
+            "cpu_count": os.cpu_count(),
+            "cache": self.cache.info(),
+        }

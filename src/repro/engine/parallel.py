@@ -1,0 +1,184 @@
+"""Process fan-out for sampling blocks and independent audit jobs.
+
+Sharding model (DESIGN.md): a run of ``rounds`` rounds is cut into
+fixed-size *blocks* (the sampler's ``batch_size``), and every block gets
+its own :class:`numpy.random.SeedSequence` child via ``spawn``.  The
+block plan depends only on ``(rounds, block_size, seed)`` — never on the
+worker count — so any number of workers (including zero, i.e. inline
+execution) produces bit-identical merged results.
+
+Workers are plain ``concurrent.futures`` process-pool workers.  Each
+worker unpickles the fault graph once (pool initializer), compiles it
+through its process-local :func:`~repro.engine.cache.compile_cached`, and
+then serves any number of blocks without further graph traffic.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.engine.batch import BlockOutcome, run_block
+from repro.engine.cache import compile_cached
+from repro.errors import AnalysisError
+
+__all__ = [
+    "BlockPlan",
+    "plan_blocks",
+    "resolve_workers",
+    "run_plan_serial",
+    "run_plan_parallel",
+]
+
+
+@dataclass(frozen=True)
+class BlockPlan:
+    """Deterministic decomposition of a sampling run into seeded blocks."""
+
+    rounds: tuple[int, ...]
+    seeds: tuple[np.random.SeedSequence, ...]
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+
+def plan_blocks(
+    rounds: int,
+    block_size: int,
+    seed_sequence: np.random.SeedSequence,
+) -> BlockPlan:
+    """Cut ``rounds`` into blocks of ``block_size`` with spawned seeds.
+
+    ``seed_sequence`` is advanced by one ``spawn`` call, so repeated runs
+    off the same sequence (e.g. calling ``FailureSampler.run`` twice)
+    draw fresh, non-overlapping streams.
+    """
+    if rounds < 1:
+        raise AnalysisError(f"rounds must be >= 1, got {rounds}")
+    if block_size < 1:
+        raise AnalysisError(f"block_size must be >= 1, got {block_size}")
+    sizes = [block_size] * (rounds // block_size)
+    if rounds % block_size:
+        sizes.append(rounds % block_size)
+    return BlockPlan(
+        rounds=tuple(sizes), seeds=tuple(seed_sequence.spawn(len(sizes)))
+    )
+
+
+def resolve_workers(n_workers: Optional[int]) -> int:
+    """Normalise a worker request (``None``/0/1 mean inline execution)."""
+    import os
+
+    if n_workers is None:
+        return 1
+    if n_workers < 0:
+        return max(1, os.cpu_count() or 1)
+    return max(1, n_workers)
+
+
+# --------------------------------------------------------------------- #
+# Sampling-block execution
+# --------------------------------------------------------------------- #
+
+
+def run_plan_serial(
+    compiled,
+    plan: BlockPlan,
+    *,
+    probabilities: Optional[Sequence[float]] = None,
+    default_probability: float = 0.5,
+    minimise: bool = True,
+) -> list[BlockOutcome]:
+    """Execute every block of ``plan`` inline, in plan order."""
+    return [
+        run_block(
+            compiled,
+            block_rounds,
+            np.random.default_rng(seed),
+            probabilities=probabilities,
+            default_probability=default_probability,
+            minimise=minimise,
+        )
+        for block_rounds, seed in zip(plan.rounds, plan.seeds)
+    ]
+
+
+_WORKER_STATE: dict = {}
+
+
+def _init_sampling_worker(payload: bytes) -> None:
+    graph, probabilities, default_probability, minimise = pickle.loads(payload)
+    _WORKER_STATE["compiled"] = compile_cached(graph)
+    _WORKER_STATE["probabilities"] = probabilities
+    _WORKER_STATE["default_probability"] = default_probability
+    _WORKER_STATE["minimise"] = minimise
+
+
+def _run_block_task(task: tuple[int, np.random.SeedSequence]) -> BlockOutcome:
+    block_rounds, seed = task
+    return run_block(
+        _WORKER_STATE["compiled"],
+        block_rounds,
+        np.random.default_rng(seed),
+        probabilities=_WORKER_STATE["probabilities"],
+        default_probability=_WORKER_STATE["default_probability"],
+        minimise=_WORKER_STATE["minimise"],
+    )
+
+
+def run_plan_parallel(
+    graph,
+    plan: BlockPlan,
+    n_workers: int,
+    *,
+    probabilities: Optional[Sequence[float]] = None,
+    default_probability: float = 0.5,
+    minimise: bool = True,
+) -> list[BlockOutcome]:
+    """Execute ``plan`` across ``n_workers`` processes.
+
+    Merging is order-insensitive (sums and set unions), but outcomes are
+    still returned in plan order for reproducible bookkeeping.
+    """
+    payload = pickle.dumps(
+        (graph, probabilities, default_probability, minimise),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    tasks = list(zip(plan.rounds, plan.seeds))
+    workers = min(n_workers, len(tasks))
+    chunksize = max(1, len(tasks) // (workers * 4))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_sampling_worker,
+        initargs=(payload,),
+    ) as pool:
+        return list(pool.map(_run_block_task, tasks, chunksize=chunksize))
+
+
+# --------------------------------------------------------------------- #
+# Generic job fan-out (audits, what-if sweeps)
+# --------------------------------------------------------------------- #
+
+
+def _call_job(task: tuple):
+    fn, args = task
+    return fn(*args)
+
+
+def map_jobs(fn, argument_tuples: Sequence[tuple], n_workers: int) -> list:
+    """Run ``fn(*args)`` for each argument tuple, fanning out when asked.
+
+    ``fn`` must be a module-level function and every argument picklable
+    (the executor serialises each task exactly once for IPC); with one
+    worker (or one job) everything runs inline, with zero IPC.
+    """
+    jobs = list(argument_tuples)
+    workers = min(resolve_workers(n_workers), len(jobs))
+    if workers <= 1:
+        return [fn(*args) for args in jobs]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_call_job, [(fn, args) for args in jobs]))

@@ -27,7 +27,7 @@ from repro.crypto.commutative import SharedGroup
 from repro.crypto.hashing import HashFamily
 from repro.errors import ProtocolError
 from repro.privacy.jaccard import is_significantly_correlated, jaccard
-from repro.privacy.minhash import estimate_jaccard, minhash_signature
+from repro.privacy.minhash import minhash_signature
 from repro.privacy.network_sim import ProtocolNetwork
 from repro.privacy.psop import PSOPParty, PSOPProtocol
 

@@ -9,7 +9,7 @@ for software components (§4.2.3).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.errors import DependencyDataError

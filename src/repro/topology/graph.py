@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 import networkx as nx
@@ -152,9 +152,9 @@ class Topology:
 
     def links_between(self, a: str, b: str) -> list[Link]:
         return [
-            l
-            for l in self._links
-            if {l.a, l.b} == {a, b}
+            link
+            for link in self._links
+            if {link.a, link.b} == {a, b}
         ]
 
     def counts(self) -> dict[str, int]:

@@ -1,7 +1,5 @@
 """Unit tests for periodic auditing / configuration drift."""
 
-import pytest
-
 from repro import AuditSpec
 from repro.analysis import diff_depdbs, drift_report
 from repro.depdb import DepDB, NetworkDependency, SoftwareDependency

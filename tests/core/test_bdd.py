@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import FaultGraph, GateType, minimal_risk_groups
-from repro.core.bdd import BDD, ONE, ZERO, compile_graph
+from repro.core.bdd import BDD, ZERO, compile_graph
 from repro.core.probability import top_event_probability
 from repro.errors import AnalysisError
 

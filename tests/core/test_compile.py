@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import FaultGraph, GateType
+from repro import FaultGraph
 from repro.core.compile import CompiledGraph
 from repro.errors import FaultGraphError
 

@@ -1,0 +1,99 @@
+"""Structural hashing and the compiled-graph cache."""
+
+import pytest
+
+from repro import ComponentSets, FaultGraph, GateType
+from repro.engine import GraphCache, compile_cached, structural_hash
+
+
+def small_graph(shared: str = "sh") -> FaultGraph:
+    sets = ComponentSets.from_mapping(
+        {"S1": ["a", "b", shared], "S2": ["c", "d", shared]}
+    )
+    return sets.to_fault_graph("demo")
+
+
+class TestStructuralHash:
+    def test_identical_structures_share_a_hash(self):
+        assert structural_hash(small_graph()) == structural_hash(small_graph())
+
+    def test_display_name_does_not_matter(self):
+        sets = ComponentSets.from_mapping({"S1": ["a", "b"], "S2": ["c"]})
+        assert structural_hash(sets.to_fault_graph("x")) == structural_hash(
+            sets.to_fault_graph("y")
+        )
+
+    def test_copies_share_a_hash(self, deep_graph):
+        assert structural_hash(deep_graph) == structural_hash(deep_graph.copy())
+
+    def test_different_wiring_changes_hash(self):
+        assert structural_hash(small_graph("sh")) != structural_hash(
+            small_graph("other")
+        )
+
+    def test_probability_changes_hash(self, figure_4b):
+        clone = figure_4b.copy()
+        clone.set_probability("A1", 0.5)
+        assert structural_hash(figure_4b) != structural_hash(clone)
+
+    def test_gate_type_changes_hash(self):
+        def build(gate: GateType) -> FaultGraph:
+            g = FaultGraph("g")
+            g.add_basic_event("x")
+            g.add_basic_event("y")
+            g.add_gate("top", gate, ["x", "y"], top=True)
+            return g
+
+        assert structural_hash(build(GateType.AND)) != structural_hash(
+            build(GateType.OR)
+        )
+
+    def test_mutation_after_hashing_yields_new_hash(self, deep_graph):
+        before = structural_hash(deep_graph)
+        deep_graph.add_basic_event("extra")
+        deep_graph.add_gate("top2", GateType.OR, ["top", "extra"], top=True)
+        assert structural_hash(deep_graph) != before
+
+
+class TestGraphCache:
+    def test_hit_on_structurally_equal_graph(self):
+        cache = GraphCache()
+        first = cache.compile(small_graph())
+        second = cache.compile(small_graph())
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_bdd_and_compiled_share_an_entry(self, figure_4b, figure_4b_probs):
+        cache = GraphCache()
+        cache.compile(figure_4b)
+        bdd = cache.compile_bdd(figure_4b)
+        assert len(cache) == 1
+        assert bdd.probability(figure_4b_probs) == pytest.approx(0.224)
+        assert cache.compile_bdd(figure_4b) is bdd
+
+    def test_lru_eviction(self):
+        cache = GraphCache(maxsize=2)
+        graphs = [small_graph(f"s{i}") for i in range(3)]
+        for g in graphs:
+            cache.compile(g)
+        assert len(cache) == 2
+        # graphs[0] was evicted; recompiling it is a miss.
+        cache.compile(graphs[0])
+        assert cache.misses == 4
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            GraphCache(maxsize=0)
+
+    def test_info_and_clear(self):
+        cache = GraphCache()
+        cache.compile(small_graph())
+        info = cache.info()
+        assert info["entries"] == 1 and info["misses"] == 1
+        cache.clear()
+        assert len(cache) == 0 and cache.info()["hits"] == 0
+
+    def test_default_cache_reuses_compilations(self):
+        first = compile_cached(small_graph("zq-unique"))
+        second = compile_cached(small_graph("zq-unique"))
+        assert first is second

@@ -1,0 +1,254 @@
+"""AuditEngine parity, determinism and integration.
+
+The central guarantee (ISSUE 1 acceptance): for a fixed seed the
+parallel/batched engine returns the *same* risk-group family and
+top-probability estimate as the serial :class:`FailureSampler`, for any
+worker count.
+"""
+
+import pytest
+
+from repro import (
+    AuditSpec,
+    ComponentSets,
+    FailureSampler,
+    RGAlgorithm,
+    SIAAuditor,
+    minimal_risk_groups,
+)
+from repro.analysis.whatif import Duplicate, Harden, evaluate_mitigations
+from repro.depdb import DepDB
+from repro.engine import AuditEngine, GraphCache
+from repro.errors import AnalysisError, SpecificationError
+
+
+@pytest.fixture
+def provider_graph():
+    """Fig-9-style two-way deployment with shared components."""
+    sets = ComponentSets.from_mapping(
+        {
+            "P0": [f"shared-{j}" for j in range(6)]
+            + [f"p0-{j}" for j in range(6)],
+            "P1": [f"shared-{j}" for j in range(6)]
+            + [f"p1-{j}" for j in range(6)],
+        }
+    )
+    return sets.to_fault_graph("providers")
+
+
+NETWORK_DEPDB = (
+    '<src="S1" dst="Internet" route="ToR1,Core1"/>\n'
+    '<src="S2" dst="Internet" route="ToR1,Core1"/>\n'
+    '<src="S3" dst="Internet" route="ToR2,Core2"/>\n'
+)
+
+
+class TestSamplingParity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_engine_matches_serial_sampler_exactly(
+        self, provider_graph, workers
+    ):
+        serial = FailureSampler(provider_graph, seed=123).run(10_000)
+        engine = AuditEngine(n_workers=workers)
+        result = engine.sample(provider_graph, 10_000, seed=123)
+        assert result.risk_groups == serial.risk_groups
+        assert result.top_failures == serial.top_failures
+        assert (
+            result.top_probability_estimate
+            == serial.top_probability_estimate
+        )
+        assert result.unique_failure_sets == serial.unique_failure_sets
+
+    def test_worker_count_never_changes_results(self, provider_graph):
+        engine_block = dict(block_size=1024)
+        results = [
+            AuditEngine(n_workers=w, **engine_block).sample(
+                provider_graph, 5_000, seed=9
+            )
+            for w in (1, 2, 3)
+        ]
+        for other in results[1:]:
+            assert other.risk_groups == results[0].risk_groups
+            assert other.top_failures == results[0].top_failures
+            assert (
+                other.unique_failure_sets == results[0].unique_failure_sets
+            )
+
+    @pytest.mark.parametrize("minimise", [True, False])
+    def test_parity_holds_in_both_modes(self, deep_graph, minimise):
+        serial = FailureSampler(deep_graph, seed=5, minimise=minimise).run(
+            6_000
+        )
+        parallel = AuditEngine(n_workers=2).sample(
+            deep_graph, 6_000, seed=5, minimise=minimise
+        )
+        assert parallel.risk_groups == serial.risk_groups
+        assert parallel.top_failures == serial.top_failures
+        assert parallel.minimised is minimise
+
+    def test_weighted_sampling_parity(self, figure_4b):
+        serial = FailureSampler(figure_4b, use_weights=True, seed=11).run(
+            8_192
+        )
+        parallel = AuditEngine(n_workers=2, block_size=2048).sample(
+            figure_4b, 8_192, use_weights=True, seed=11
+        )
+        serial_small_block = FailureSampler(
+            figure_4b, use_weights=True, seed=11, batch_size=2048
+        ).run(8_192)
+        assert parallel.top_failures == serial_small_block.top_failures
+        assert parallel.risk_groups == serial_small_block.risk_groups
+        # Both runs estimate the same underlying probability (0.224).
+        assert serial.top_probability_estimate == pytest.approx(
+            0.224, abs=0.03
+        )
+        assert parallel.top_probability_estimate == pytest.approx(
+            0.224, abs=0.03
+        )
+
+    def test_sampler_finds_exact_family(self, provider_graph):
+        reference = minimal_risk_groups(provider_graph)
+        result = AuditEngine(n_workers=2).sample(
+            provider_graph, 20_000, seed=0
+        )
+        assert result.detection_rate(reference) == 1.0
+
+    def test_engine_seed_determinism(self, deep_graph):
+        engine = AuditEngine(n_workers=2)
+        first = engine.sample(deep_graph, 4_000, seed=3)
+        second = engine.sample(deep_graph, 4_000, seed=3)
+        assert first.risk_groups == second.risk_groups
+        assert first.top_failures == second.top_failures
+
+    def test_invalid_parameters(self, figure_4a):
+        engine = AuditEngine()
+        with pytest.raises(AnalysisError):
+            engine.sample(figure_4a, 0)
+        with pytest.raises(AnalysisError):
+            engine.sample(figure_4a, 10, sample_probability=1.0)
+        with pytest.raises(AnalysisError):
+            AuditEngine(block_size=0)
+
+    def test_cache_reused_across_samples(self, deep_graph):
+        engine = AuditEngine()
+        engine.sample(deep_graph, 100, seed=0)
+        engine.sample(deep_graph, 100, seed=1)
+        engine.sample(deep_graph.copy(), 100, seed=2)
+        info = engine.cache.info()
+        assert info["misses"] == 1
+        assert info["hits"] == 2
+
+
+class TestAuditorIntegration:
+    def make_auditor(self, workers=1):
+        depdb = DepDB.loads(NETWORK_DEPDB)
+        return SIAAuditor(depdb, engine=AuditEngine(n_workers=workers))
+
+    def spec(self, servers=("S1", "S2"), **kwargs):
+        kwargs.setdefault("algorithm", RGAlgorithm.SAMPLING)
+        kwargs.setdefault("sampling_rounds", 4_000)
+        return AuditSpec(
+            deployment=" & ".join(servers), servers=tuple(servers), **kwargs
+        )
+
+    def test_engine_audit_matches_plain_auditor(self):
+        depdb = DepDB.loads(NETWORK_DEPDB)
+        plain = SIAAuditor(depdb).audit_deployment(self.spec())
+        engineered = self.make_auditor().audit_deployment(self.spec())
+        assert [e.events for e in engineered.ranking] == [
+            e.events for e in plain.ranking
+        ]
+        assert engineered.score == plain.score
+        # Whole reports must match too — notes may not leak engine
+        # details, or worker count would change serialized output.
+        assert engineered.notes == plain.notes
+
+    def test_multi_spec_audit_fans_out(self):
+        auditor = self.make_auditor(workers=2)
+        specs = [self.spec(("S1", "S2")), self.spec(("S1", "S3"))]
+        report = auditor.audit(specs, title="fanout")
+        assert len(report.audits) == 2
+        serial = SIAAuditor(auditor.depdb).audit(specs, title="serial")
+        assert [a.deployment for a in report.ranked_deployments()] == [
+            a.deployment for a in serial.ranked_deployments()
+        ]
+        assert {a.deployment: a.score for a in report.audits} == {
+            a.deployment: a.score for a in serial.audits
+        }
+
+    def test_unpicklable_weigher_falls_back_to_serial(self):
+        depdb = DepDB.loads(NETWORK_DEPDB)
+
+        def weigher(kind, identifier):  # a closure: not picklable
+            return 0.1
+
+        auditor = SIAAuditor(
+            depdb, weigher=weigher, engine=AuditEngine(n_workers=2)
+        )
+        report = auditor.audit(
+            [self.spec(("S1", "S2")), self.spec(("S1", "S3"))]
+        )
+        assert len(report.audits) == 2
+
+
+class TestWhatIfIntegration:
+    def test_engine_matches_serial_whatif(self, figure_4b):
+        mitigations = [
+            Harden("A2", 0.01),
+            Harden("A3", 0.01),
+            Duplicate("A2"),
+        ]
+        serial = evaluate_mitigations(figure_4b, mitigations)
+        engineered = evaluate_mitigations(
+            figure_4b, mitigations, engine=AuditEngine(n_workers=2)
+        )
+        assert [o.mitigation.describe() for o in serial] == [
+            o.mitigation.describe() for o in engineered
+        ]
+        for ours, theirs in zip(engineered, serial):
+            assert ours.probability_after == pytest.approx(
+                theirs.probability_after
+            )
+            assert ours.unexpected_after == theirs.unexpected_after
+
+    def test_shared_cache_across_sweeps(self, figure_4b):
+        cache = GraphCache()
+        engine = AuditEngine(cache=cache)
+        for _ in range(2):
+            evaluate_mitigations(
+                figure_4b, [Harden("A2", 0.01)], engine=engine
+            )
+        # The weighted baseline graph is compiled once, reused once.
+        assert cache.hits >= 1
+
+
+class TestEngineInfo:
+    def test_info_shape(self):
+        info = AuditEngine(n_workers=2, block_size=512).info()
+        assert info["workers"] == 2
+        assert info["block_size"] == 512
+        assert "cache" in info and "cpu_count" in info
+
+    def test_negative_workers_means_all_cores(self):
+        import os
+
+        engine = AuditEngine(n_workers=-1)
+        assert engine.n_workers == max(1, os.cpu_count() or 1)
+
+    def test_none_workers_means_inline(self):
+        assert AuditEngine(n_workers=None).n_workers == 1
+        assert AuditEngine(n_workers=0).n_workers == 1
+
+
+class TestAuditManyErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(SpecificationError):
+            AuditEngine().audit_many(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(SpecificationError):
+            AuditEngine().audit_many(tmp_path)
+
+    def test_no_jobs(self):
+        with pytest.raises(SpecificationError):
+            AuditEngine().audit_jobs([])

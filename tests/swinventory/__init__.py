@@ -1,0 +1,1 @@
+"""Test package (unique basenames across subpackages via package imports)."""

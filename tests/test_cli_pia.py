@@ -30,7 +30,9 @@ class TestPiaCommand:
         out = capsys.readouterr().out
         assert "CloudA & CloudB" in out
         # The disjoint pair ranks first.
-        first_line = [l for l in out.splitlines() if l.startswith("1")][0]
+        first_line = [
+            line for line in out.splitlines() if line.startswith("1")
+        ][0]
         assert "CloudC" in first_line
 
     def test_psop_audit(self, sets_file, capsys):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import TopologyError
-from repro.topology import DeviceType
 from repro.topology.jellyfish import JellyfishConfig, jellyfish
 from repro.topology.routing import shortest_routes
 
@@ -52,12 +51,12 @@ class TestGenerated:
     def test_deterministic_for_seed(self):
         a = jellyfish(JellyfishConfig(switches=10, degree=3, seed=7))
         b = jellyfish(JellyfishConfig(switches=10, degree=3, seed=7))
-        assert {l.name for l in a.links()} == {l.name for l in b.links()}
+        assert {ln.name for ln in a.links()} == {ln.name for ln in b.links()}
 
     def test_different_seeds_differ(self):
         a = jellyfish(JellyfishConfig(switches=10, degree=3, seed=1))
         b = jellyfish(JellyfishConfig(switches=10, degree=3, seed=2))
-        assert {l.name for l in a.links()} != {l.name for l in b.links()}
+        assert {ln.name for ln in a.links()} != {ln.name for ln in b.links()}
 
     def test_auditable_end_to_end(self, topo):
         """Jellyfish feeds the same pipeline as the fat tree."""
