@@ -1,0 +1,174 @@
+"""Incremental delta audits vs cold full audits (ISSUE 2 acceptance).
+
+Workload: the Figure-9 setting — k providers with half-shared
+component-sets, an auditing client ranking *every* two-way deployment
+(the §6.3.3 "which pair is most independent" question).  Production
+drift then perturbs a handful of one provider's exclusive components
+(≤ 5% of that provider's set, ~1% of the topology's components).
+
+A cold full audit re-samples every C(k,2) deployment.  The delta engine
+diffs the spec sets, proves via structural hashes that only the k-1
+deployments containing the perturbed provider can change, reuses the
+cached audits for the rest — and must produce a report *bit-identical*
+to the cold audit (the determinism contract extends to the incremental
+layer; see DESIGN.md).
+
+Acceptance: delta re-audit ≥ 3x faster than the cold full audit, at
+identical output.  A no-op iteration (nothing changed — the steady
+state of ``indaas watch``) is also measured.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+
+from repro.core.spec import AuditSpec, RGAlgorithm
+from repro.depdb import DepDB
+from repro.depdb.records import HardwareDependency
+from repro.engine.facade import AuditJob
+from repro.engine.incremental import DeltaAuditEngine
+
+PARAMS = {
+    "smoke": {"providers": 8, "elements": 20, "rounds": 8_000},
+    "quick": {"providers": 10, "elements": 40, "rounds": 20_000},
+    "paper": {"providers": 12, "elements": 100, "rounds": 100_000},
+}
+
+MIN_SPEEDUP = 3.0
+
+
+def provider_sets(k: int, n: int) -> dict[str, list[str]]:
+    """Half-shared component-sets (the §6.3.3 setting, as in Figure 9)."""
+    half = n // 2
+    return {
+        f"P{i}": [f"shared-{j}" for j in range(half)]
+        + [f"p{i}-{j}" for j in range(n - half)]
+        for i in range(k)
+    }
+
+
+def perturb(sets: dict[str, list[str]]) -> dict[str, list[str]]:
+    """Replace ≤5% of provider P0's components (exclusive ones only).
+
+    Drift touches one provider; shared components stay put, so exactly
+    the deployments containing P0 are affected.
+    """
+    new_sets = {name: list(elements) for name, elements in sets.items()}
+    changed = max(1, len(new_sets["P0"]) // 20)
+    for i in range(changed):
+        new_sets["P0"][-(i + 1)] = f"p0-replacement-{i}"
+    return new_sets
+
+
+def make_jobs(sets: dict[str, list[str]], rounds: int) -> list[AuditJob]:
+    """One sampling AuditJob per two-way deployment over one shared DepDB."""
+    depdb = DepDB(
+        HardwareDependency(hw=provider, type="component", dep=element)
+        for provider in sets
+        for element in sets[provider]
+    )
+    return [
+        AuditJob(
+            depdb=depdb,
+            spec=AuditSpec(
+                deployment=f"{a} & {b}",
+                servers=(a, b),
+                algorithm=RGAlgorithm.SAMPLING,
+                sampling_rounds=rounds,
+                seed=0,
+            ),
+        )
+        for a, b in combinations(sorted(sets), 2)
+    ]
+
+
+def test_delta_audit_speedup_at_identical_output(benchmark, emit, scale):
+    params = PARAMS[scale]
+    k, rounds = params["providers"], params["rounds"]
+    old_sets = provider_sets(k, params["elements"])
+    new_sets = perturb(old_sets)
+    old_jobs = make_jobs(old_sets, rounds)
+    new_jobs = make_jobs(new_sets, rounds)
+    pairs = len(new_jobs)
+    title = "fig9 incremental"
+
+    # Cold full audit of the perturbed spec set (empty caches).
+    started = time.perf_counter()
+    cold = DeltaAuditEngine().audit_full(new_jobs, title=title)
+    cold_seconds = time.perf_counter() - started
+
+    # Warm service: audit the old set, then delta to the perturbed one.
+    engine = DeltaAuditEngine()
+    started = time.perf_counter()
+    engine.audit_full(old_jobs, title=title)
+    warmup_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    outcome = engine.audit_delta(old_jobs, new_jobs, title=title)
+    delta_seconds = time.perf_counter() - started
+
+    # Steady state: nothing changed since the last poll.
+    started = time.perf_counter()
+    noop = engine.audit_delta(new_jobs, new_jobs, title=title)
+    noop_seconds = time.perf_counter() - started
+
+    speedup = cold_seconds / delta_seconds
+    emit.table(
+        f"Incremental delta audit — fig9 topology, {k} providers "
+        f"({pairs} two-way deployments), {rounds} rounds each",
+        ["audit", "seconds", "recomputed", "reused", "speedup"],
+        [
+            ["cold full audit", f"{cold_seconds:.3f}", pairs, 0, "1.0x"],
+            [
+                "warmup (old spec set)",
+                f"{warmup_seconds:.3f}",
+                pairs,
+                0,
+                "-",
+            ],
+            [
+                "delta (≤5% of one provider)",
+                f"{delta_seconds:.3f}",
+                len(outcome.recomputed),
+                len(outcome.reused),
+                f"{speedup:.1f}x",
+            ],
+            [
+                "delta (no-op poll)",
+                f"{noop_seconds:.3f}",
+                len(noop.recomputed),
+                len(noop.reused),
+                f"{cold_seconds / noop_seconds:.1f}x",
+            ],
+        ],
+    )
+
+    # The diff must isolate exactly the deployments containing P0.
+    affected = {
+        job.spec.deployment for job in new_jobs if "P0" in job.spec.servers
+    }
+    assert set(outcome.recomputed) == affected
+    assert len(outcome.reused) == pairs - (k - 1)
+    assert set(noop.reused) == {job.spec.deployment for job in new_jobs}
+    assert not noop.recomputed
+
+    # The determinism contract: delta output ≡ cold output, bitwise.
+    assert (
+        outcome.report.to_dict()["deployments"]
+        == cold.to_dict()["deployments"]
+    )
+    assert (
+        noop.report.to_dict()["deployments"] == cold.to_dict()["deployments"]
+    )
+
+    # The headline acceptance criterion.
+    assert speedup >= MIN_SPEEDUP, (
+        f"delta re-audit only {speedup:.2f}x faster than a cold full audit"
+    )
+    assert noop_seconds < delta_seconds
+
+    benchmark.pedantic(
+        lambda: engine.audit_delta(new_jobs, new_jobs, title=title),
+        rounds=1,
+        iterations=1,
+    )

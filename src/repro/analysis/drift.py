@@ -9,6 +9,12 @@ evolution might introduce".  This module makes that concrete:
 * :func:`drift_report` — re-audit a deployment on both snapshots and
   report newly introduced / fixed risk groups and the score movement —
   exactly what a scheduled INDaaS run would page an operator about.
+
+A drift event is exactly a delta-audit request: pass an ``engine``
+(ideally a :class:`~repro.engine.incremental.DeltaAuditEngine`, e.g.
+the one a :class:`~repro.engine.incremental.WatchService` keeps warm)
+and the "before" audit is served from its result cache instead of being
+recomputed on every period — same report, a fraction of the work.
 """
 
 from __future__ import annotations
@@ -117,6 +123,7 @@ def drift_report(
     after: DepDB,
     spec: AuditSpec,
     weigher: Optional[Weigher] = None,
+    engine=None,
 ) -> DriftReport:
     """Audit ``spec`` against both snapshots and compare the outcomes.
 
@@ -125,9 +132,23 @@ def drift_report(
         after: The freshly acquired snapshot.
         spec: Deployment specification to audit under both.
         weigher: Optional failure probabilities (enables Pr comparison).
+        engine: Optional :class:`~repro.engine.AuditEngine`.  A
+            :class:`~repro.engine.incremental.DeltaAuditEngine` turns
+            periodic drift checks into delta audits: an unchanged
+            snapshot (typically ``before``, audited last period) is a
+            cache hit, not a recomputation.  Results are identical
+            either way.
     """
-    old_audit = SIAAuditor(before, weigher=weigher).audit_deployment(spec)
-    new_audit = SIAAuditor(after, weigher=weigher).audit_deployment(spec)
+    if engine is not None and hasattr(engine, "audit_spec"):
+        old_audit = engine.audit_spec(before, spec, weigher=weigher)
+        new_audit = engine.audit_spec(after, spec, weigher=weigher)
+    else:
+        old_audit = SIAAuditor(
+            before, weigher=weigher, engine=engine
+        ).audit_deployment(spec)
+        new_audit = SIAAuditor(
+            after, weigher=weigher, engine=engine
+        ).audit_deployment(spec)
     old_groups = {entry.events for entry in old_audit.ranking}
     new_groups = {entry.events for entry in new_audit.ranking}
     introduced = tuple(

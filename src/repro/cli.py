@@ -9,6 +9,8 @@ Subcommands mirror the evaluation:
 * ``indaas audit``           — SIA audit of a DepDB file
 * ``indaas audit-many``      — concurrent audit of a directory of
   deployment specs (engine-backed)
+* ``indaas watch``           — long-running incremental audit of a spec
+  directory (delta engine, warm caches, JSONL reports)
 * ``indaas drift``           — periodic audit across two DepDB snapshots
 * ``indaas importance``      — per-component importance measures
 * ``indaas example``         — Figure 4 worked example
@@ -102,6 +104,34 @@ def build_parser() -> argparse.ArgumentParser:
     many.add_argument(
         "--json", action="store_true",
         help="emit the full report as JSON instead of text",
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help=(
+            "poll a spec directory and delta-audit it continuously "
+            "(one JSON report per iteration on stdout)"
+        ),
+    )
+    watch.add_argument(
+        "specs",
+        help="directory of *.json deployment specs (audit-many schema)",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between polls (default 2.0)",
+    )
+    watch.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after N polls (default: run until interrupted)",
+    )
+    watch.add_argument(
+        "--block-size", type=int, default=4096,
+        help="sampling rounds per block (part of the seeded stream)",
+    )
+    watch.add_argument(
+        "--full", action="store_true",
+        help="include the full audit report in every JSON line",
     )
 
     drift = sub.add_parser(
@@ -243,6 +273,29 @@ def _run_audit_many(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_watch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.engine.incremental import DeltaAuditEngine, WatchService
+
+    engine = DeltaAuditEngine(block_size=args.block_size)
+    service = WatchService(
+        args.specs,
+        engine=engine,
+        interval=args.interval,
+        include_report=args.full,
+    )
+
+    def emit(entry: dict) -> None:
+        print(json.dumps(entry), flush=True)
+
+    try:
+        service.run(iterations=args.iterations, emit=emit)
+    except KeyboardInterrupt:  # a service: Ctrl-C is the normal exit
+        return 0
+    return 0
+
+
 def _parse_servers(raw: str) -> tuple[str, ...]:
     from repro.errors import SpecificationError
 
@@ -357,6 +410,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_audit(args)
         if args.command == "audit-many":
             return _run_audit_many(args)
+        if args.command == "watch":
+            return _run_watch(args)
         if args.command == "drift":
             return _run_drift(args)
         if args.command == "importance":

@@ -110,7 +110,16 @@ class SIAAuditor:
 
     def audit_deployment(self, spec: AuditSpec) -> DeploymentAudit:
         """Run the full SIA pipeline for one candidate deployment."""
-        graph = self.build_graph(spec)
+        return self.audit_graph(self.build_graph(spec), spec)
+
+    def audit_graph(self, graph: FaultGraph, spec: AuditSpec) -> DeploymentAudit:
+        """Steps 2–4 of the pipeline on an already-built graph.
+
+        Split from :meth:`audit_deployment` so incremental callers
+        (:class:`~repro.engine.incremental.DeltaAuditEngine`) can build
+        the graph once, key caches by its structural hash, and only then
+        decide whether this computation needs to run at all.
+        """
         notes: list[str] = []
 
         if spec.algorithm is RGAlgorithm.MINIMAL:

@@ -9,7 +9,10 @@ This package is the scaling layer on top of the §4.1 analysis core:
   ``SeedSequence.spawn`` and process fan-out;
 * :mod:`repro.engine.facade` — the :class:`AuditEngine` facade consumed
   by :class:`~repro.core.audit.SIAAuditor`, the what-if analysis and the
-  ``indaas audit-many`` CLI verb.
+  ``indaas audit-many`` CLI verb;
+* :mod:`repro.engine.incremental` — delta audits: graph diffing, the
+  block-outcome / audit result caches, :class:`DeltaAuditEngine` and
+  the ``indaas watch`` service.
 
 ``facade`` is re-exported lazily: :mod:`repro.core.sampling` imports the
 batch/parallel layers at module load, so pulling the facade (which
@@ -43,11 +46,17 @@ __all__ = [
     "AuditJob",
     "BlockOutcome",
     "BlockPlan",
+    "DeltaAuditEngine",
+    "DeltaAuditReport",
     "GraphCache",
+    "GraphDelta",
+    "WatchService",
     "compile_cached",
     "default_cache",
     "extract_witnesses_batch",
+    "graph_delta",
     "load_audit_job",
+    "load_spec_set",
     "map_jobs",
     "minimise_cuts_batch",
     "plan_blocks",
@@ -58,12 +67,24 @@ __all__ = [
     "structural_hash",
 ]
 
-_LAZY = {"AuditEngine", "AuditJob", "load_audit_job"}
+_LAZY_FACADE = {"AuditEngine", "AuditJob", "load_audit_job"}
+_LAZY_INCREMENTAL = {
+    "DeltaAuditEngine",
+    "DeltaAuditReport",
+    "GraphDelta",
+    "WatchService",
+    "graph_delta",
+    "load_spec_set",
+}
 
 
 def __getattr__(name: str):
-    if name in _LAZY:
+    if name in _LAZY_FACADE:
         from repro.engine import facade
 
         return getattr(facade, name)
+    if name in _LAZY_INCREMENTAL:
+        from repro.engine import incremental
+
+        return getattr(incremental, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -77,8 +77,55 @@ def _run_audit_job(depdb, spec, probability):
     return auditor.audit_deployment(spec)
 
 
-def load_audit_job(path: Union[str, Path]) -> AuditJob:
+#: ``audit-many`` spec fields with their JSON types.  Booleans pass
+#: ``isinstance(..., int)``, so they are rejected explicitly where an
+#: int is expected.  Validated up front so a mistyped hand-edited file
+#: surfaces as a clean SpecificationError (which long-running consumers
+#: like ``indaas watch`` survive), never as a TypeError from deep inside
+#: AuditSpec.
+_SPEC_FIELD_TYPES = {
+    "depdb": (str,),
+    "name": (str,),
+    "algorithm": (str,),
+    "rounds": (int,),
+    "required": (int,),
+    "seed": (int, type(None)),
+    "sample_probability": (int, float),
+    "probability": (int, float, type(None)),
+}
+
+
+def _check_spec_types(path, payload: dict) -> None:
+    servers = payload["servers"]
+    if not isinstance(servers, list) or not all(
+        isinstance(s, str) for s in servers
+    ):
+        raise SpecificationError(
+            f"{path}: servers must be a list of strings"
+        )
+    for key, types in _SPEC_FIELD_TYPES.items():
+        if key not in payload:
+            continue
+        value = payload[key]
+        if not isinstance(value, types) or isinstance(value, bool):
+            wanted = "/".join(
+                t.__name__ for t in types if t is not type(None)
+            )
+            raise SpecificationError(
+                f"{path}: {key} must be {wanted}, "
+                f"got {type(value).__name__}"
+            )
+
+
+def load_audit_job(
+    path: Union[str, Path], payload: Optional[dict] = None
+) -> AuditJob:
     """Parse one ``audit-many`` deployment spec file.
+
+    ``payload``, when given, is the file's already-parsed JSON object —
+    callers that must inspect the JSON before loading (the watch
+    service stats the referenced DepDB first) avoid a second read and
+    parse this way.
 
     The JSON schema (all paths relative to the spec file)::
 
@@ -97,17 +144,19 @@ def load_audit_job(path: Union[str, Path]) -> AuditJob:
     from repro.depdb import DepDB
 
     path = Path(path)
-    try:
-        payload = json.loads(path.read_text(encoding="utf-8"))
-    except OSError as exc:
-        raise SpecificationError(f"{path}: cannot read spec: {exc}")
-    except json.JSONDecodeError as exc:
-        raise SpecificationError(f"{path}: invalid JSON: {exc}")
+    if payload is None:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise SpecificationError(f"{path}: cannot read spec: {exc}")
+        except json.JSONDecodeError as exc:
+            raise SpecificationError(f"{path}: invalid JSON: {exc}")
     if not isinstance(payload, dict):
         raise SpecificationError(f"{path}: spec must be a JSON object")
     for key in ("depdb", "servers"):
         if key not in payload:
             raise SpecificationError(f"{path}: missing required key {key!r}")
+    _check_spec_types(path, payload)
     depdb_path = path.parent / payload["depdb"]
     try:
         depdb = DepDB.loads(depdb_path.read_text(encoding="utf-8"))
@@ -136,7 +185,7 @@ def load_audit_job(path: Union[str, Path]) -> AuditJob:
         depdb=depdb,
         spec=spec,
         probability=payload.get("probability"),
-        metadata={"source": str(path)},
+        metadata={"source": str(path), "depdb": str(depdb_path)},
     )
 
 
@@ -210,7 +259,6 @@ class AuditEngine:
         plan = plan_blocks(
             rounds, self.block_size, np.random.SeedSequence(seed)
         )
-        parallel = self.n_workers > 1 and len(plan) > 1
         weights = None
         if use_weights:
             probs = graph.probabilities()
@@ -219,25 +267,14 @@ class AuditEngine:
             # later call (and the workers) reuse.
             names = self.compile(graph).basic_names
             weights = [probs[n] for n in names]
-        if parallel:
-            # Workers compile through their process-local caches; don't
-            # pay for an unused parent-side compilation here.
-            outcomes = run_plan_parallel(
-                graph,
-                plan,
-                self.n_workers,
-                probabilities=weights,
-                default_probability=sample_probability,
-                minimise=minimise,
-            )
-        else:
-            outcomes = run_plan_serial(
-                self.compile(graph),
-                plan,
-                probabilities=weights,
-                default_probability=sample_probability,
-                minimise=minimise,
-            )
+        outcomes, execution_metadata = self._run_plan(
+            graph,
+            plan,
+            probabilities=weights,
+            default_probability=sample_probability,
+            minimise=minimise,
+            reusable_stream=seed is not None,
+        )
         return merge_block_outcomes(
             outcomes,
             minimised=minimise,
@@ -248,9 +285,51 @@ class AuditEngine:
                     "workers": self.n_workers,
                     "blocks": len(plan),
                     "block_size": self.block_size,
-                }
+                },
+                **execution_metadata,
             },
         )
+
+    def _run_plan(
+        self,
+        graph,
+        plan,
+        *,
+        probabilities,
+        default_probability: float,
+        minimise: bool,
+        reusable_stream: bool = True,
+    ):
+        """Execute a block plan; the single overridable step of ``sample``.
+
+        Subclasses (the delta engine) replace only this, so the plan
+        construction, weights extraction and merge above stay one copy —
+        which is what keeps the bit-parity contract a single point of
+        truth.  ``reusable_stream`` is False when the plan's seeds come
+        from fresh OS entropy (``seed=None``) — such blocks can never
+        legitimately be served from (or usefully stored in) a cache.
+        Returns ``(outcomes, extra result metadata)``.
+        """
+        if self.n_workers > 1 and len(plan) > 1:
+            # Workers compile through their process-local caches; don't
+            # pay for an unused parent-side compilation here.
+            outcomes = run_plan_parallel(
+                graph,
+                plan,
+                self.n_workers,
+                probabilities=probabilities,
+                default_probability=default_probability,
+                minimise=minimise,
+            )
+        else:
+            outcomes = run_plan_serial(
+                self.compile(graph),
+                plan,
+                probabilities=probabilities,
+                default_probability=default_probability,
+                minimise=minimise,
+            )
+        return outcomes, {}
 
     def sample_spec(self, graph, spec: AuditSpec) -> SamplingResult:
         """Sample ``graph`` with the parameters of an :class:`AuditSpec`."""
@@ -285,23 +364,22 @@ class AuditEngine:
 
         ``specs`` is either a directory containing ``*.json`` spec files
         (see :func:`load_audit_job`) or an explicit list of file paths.
+        Loading and validation are shared with the incremental layer
+        (one copy, one behavior — including the duplicate-deployment
+        rejection).
         """
-        if isinstance(specs, (str, Path)):
-            root = Path(specs)
-            if not root.is_dir():
-                raise SpecificationError(f"{root} is not a directory")
-            paths = sorted(p for p in root.glob("*.json") if p.is_file())
-        else:
-            paths = [Path(p) for p in specs]
-        if not paths:
-            raise SpecificationError("no deployment spec files found")
-        jobs = [load_audit_job(p) for p in paths]
-        methods = {job.spec.ranking for job in jobs}
-        if len(methods) != 1:
-            raise SpecificationError(
-                "all specs in one report must share a ranking method"
-            )
-        audits = self.audit_jobs(jobs)
+        from repro.engine.incremental import (
+            _require_single_ranking,
+            load_spec_set,
+        )
+
+        if not isinstance(specs, (str, Path)):
+            specs = [load_audit_job(Path(p)) for p in specs]
+        jobs = load_spec_set(specs)
+        if not jobs:
+            raise SpecificationError("no audit jobs given")
+        _require_single_ranking(jobs)
+        audits = self.audit_jobs(list(jobs))
         return AuditReport(
             title=title,
             audits=audits,
@@ -309,8 +387,66 @@ class AuditEngine:
             client=client,
             metadata={
                 "engine": {"workers": self.n_workers},
-                "spec_files": [str(p) for p in paths],
+                "spec_files": [
+                    job.metadata.get("source", "") for job in jobs
+                ],
             },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Incremental auditing
+    # ------------------------------------------------------------------ #
+
+    def delta(self) -> "AuditEngine":
+        """The lazily created incremental companion engine.
+
+        A :class:`~repro.engine.incremental.DeltaAuditEngine` sharing
+        this engine's :class:`GraphCache` and block size; repeated calls
+        return the same instance, so its block/audit caches stay warm
+        across :meth:`audit_delta` calls.
+        """
+        from repro.engine.incremental import DeltaAuditEngine
+
+        if isinstance(self, DeltaAuditEngine):
+            return self
+        existing = getattr(self, "_delta_engine", None)
+        if existing is None:
+            existing = DeltaAuditEngine(
+                block_size=self.block_size, cache=self.cache
+            )
+            self._delta_engine = existing
+        return existing
+
+    def audit_delta(
+        self,
+        old,
+        new,
+        title: str = "delta audit",
+        client: str = "",
+        old_graphs=None,
+        prebuilt_graphs=None,
+    ):
+        """Diff two deployment spec sets and re-audit only what changed.
+
+        ``old``/``new`` are spec directories or :class:`AuditJob`
+        sequences (``old`` may be ``None`` for a first run).  Callers
+        polling in a loop should feed the returned outcome's
+        ``new_graphs`` back as ``old_graphs`` so steady-state calls skip
+        rebuilding the old side of the diff; ``prebuilt_graphs``
+        likewise short-circuits the new side (see
+        :meth:`~repro.engine.incremental.DeltaAuditEngine.audit_delta`
+        for the caller's proof obligation).  Returns a
+        :class:`~repro.engine.incremental.DeltaAuditReport` whose report
+        is bit-identical to a cold full audit of ``new``; see
+        :mod:`repro.engine.incremental`.
+        """
+        return self.delta().audit_delta(
+            old,
+            new,
+            title=title,
+            client=client,
+            old_graphs=old_graphs,
+            prebuilt_graphs=prebuilt_graphs,
         )
 
     # ------------------------------------------------------------------ #

@@ -80,3 +80,56 @@ class TestDriftReport:
             report.failure_probability_after
             > report.failure_probability_before
         )
+
+
+class TestDriftWithDeltaEngine:
+    """Drift events as delta-audit requests (ISSUE 2 wiring)."""
+
+    SPEC = AuditSpec(deployment="S1 & S2", servers=("S1", "S2"))
+
+    def test_engine_backed_drift_matches_plain(self):
+        from repro.engine import DeltaAuditEngine
+
+        plain = drift_report(
+            snapshot_v1(), snapshot_v2_regressed(), self.SPEC
+        )
+        engineered = drift_report(
+            snapshot_v1(),
+            snapshot_v2_regressed(),
+            self.SPEC,
+            engine=DeltaAuditEngine(),
+        )
+        assert engineered.regressed == plain.regressed
+        assert (
+            engineered.introduced_risk_groups
+            == plain.introduced_risk_groups
+        )
+        assert engineered.resolved_risk_groups == plain.resolved_risk_groups
+        assert engineered.score_before == plain.score_before
+        assert engineered.score_after == plain.score_after
+
+    def test_warm_engine_reuses_the_previous_period(self):
+        from repro.engine import DeltaAuditEngine
+
+        engine = DeltaAuditEngine()
+        drift_report(snapshot_v1(), snapshot_v2_regressed(), self.SPEC,
+                     engine=engine)
+        before_hits = engine.cache_info()["audits"]["hits"]
+        # Next period: v2 (already audited as "after") is now "before" —
+        # both snapshots' structures are known, so zero new audits run.
+        drift_report(snapshot_v2_regressed(), snapshot_v2_regressed(),
+                     self.SPEC, engine=engine)
+        info = engine.cache_info()["audits"]
+        assert info["hits"] >= before_hits + 2
+        assert info["misses"] == 2  # only the two cold audits ever ran
+
+    def test_plain_audit_engine_still_works(self):
+        from repro.engine import AuditEngine
+
+        report = drift_report(
+            snapshot_v1(),
+            snapshot_v2_regressed(),
+            self.SPEC,
+            engine=AuditEngine(),
+        )
+        assert report.regressed

@@ -91,6 +91,32 @@ class TestLoadAuditJob:
         with pytest.raises(SpecificationError, match="cannot read"):
             load_audit_job(path)
 
+    @pytest.mark.parametrize(
+        "overrides,complaint",
+        [
+            ({"servers": "S1"}, "servers"),
+            ({"servers": [1, 2]}, "servers"),
+            ({"required": "1"}, "required"),
+            ({"rounds": "100"}, "rounds"),
+            ({"rounds": True}, "rounds"),
+            ({"seed": "0"}, "seed"),
+            ({"sample_probability": "0.5"}, "sample_probability"),
+            ({"probability": "0.1"}, "probability"),
+            ({"name": 7}, "name"),
+        ],
+    )
+    def test_mistyped_fields_raise_specification_error(
+        self, spec_dir, overrides, complaint
+    ):
+        """Hand-edited spec files must fail as clean SpecificationErrors
+        (long-running consumers like ``indaas watch`` survive those), not
+        as TypeErrors from deep inside AuditSpec."""
+        payload = {"depdb": "web.depdb", "servers": ["S1"], **overrides}
+        path = spec_dir / "typed.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SpecificationError, match=complaint):
+            load_audit_job(path)
+
 
 class TestAuditMany:
     @pytest.mark.parametrize("workers", [1, 2])

@@ -177,18 +177,38 @@ class TestAuditorIntegration:
         }
 
     def test_unpicklable_weigher_falls_back_to_serial(self):
+        """A closure weigher can't ship to workers: the multi-spec
+        fan-out must quietly run serially — no exception, and output
+        identical to a plain serial auditor with the same weigher."""
         depdb = DepDB.loads(NETWORK_DEPDB)
+        captured = object()  # force a real closure cell
 
         def weigher(kind, identifier):  # a closure: not picklable
+            assert captured is not None
             return 0.1
 
+        specs = [self.spec(("S1", "S2")), self.spec(("S1", "S3"))]
         auditor = SIAAuditor(
             depdb, weigher=weigher, engine=AuditEngine(n_workers=2)
         )
-        report = auditor.audit(
-            [self.spec(("S1", "S2")), self.spec(("S1", "S3"))]
-        )
+        report = auditor.audit(specs)
         assert len(report.audits) == 2
+
+        import pickle
+
+        with pytest.raises(Exception):
+            pickle.dumps(weigher)  # precondition: the fallback really fired
+
+        serial = SIAAuditor(depdb, weigher=weigher).audit(specs)
+        by_name = {a.deployment: a for a in report.audits}
+        for reference in serial.audits:
+            ours = by_name[reference.deployment]
+            assert [e.events for e in ours.ranking] == [
+                e.events for e in reference.ranking
+            ]
+            assert ours.score == reference.score
+            assert ours.failure_probability == reference.failure_probability
+            assert ours.notes == reference.notes
 
 
 class TestWhatIfIntegration:
