@@ -16,10 +16,18 @@ raises them towards the paper's parameters.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.crypto import SharedGroup, generate_keypair
 from repro.privacy import KSParty, KSProtocol, PSOPParty, PSOPProtocol
+
+#: Required end-to-end P-SOP speedup of the batched fast path over the
+#: serial reference ring.  The quick profile must clear 3x (the PR-3
+#: acceptance gate); smoke runs on second-scale datasets where fixed
+#: overheads weigh more, so its bar is lower.
+FAST_PATH_SPEEDUP = {"smoke": 2.0, "quick": 3.0, "paper": 3.0}
 
 PARAMS = {
     "smoke": {
@@ -129,4 +137,68 @@ def test_fig8_overheads(benchmark, emit, scale):
     # Benchmark the headline configuration (k=4, largest quick n).
     benchmark.pedantic(
         lambda: run_psop(4, sizes[0], group), rounds=1, iterations=1
+    )
+
+
+def test_fig8_psop_fast_path_speedup(emit, scale):
+    """PR-3 gate: the batched fast path must beat the serial ring >= 3x
+    end to end (quick profile) with bit-identical protocol outputs, and
+    the worker count must not affect results."""
+    params = PARAMS[scale]
+    group = SharedGroup.with_bits(params["group_bits"])
+
+    def sweep(fast: bool, n_workers: int = 0):
+        total = 0.0
+        results = {}
+        for k in (2, 3, 4):
+            for n in params["sizes"]:
+                parties = [
+                    PSOPParty(f"P{i}", dataset(i, n), group, seed=i)
+                    for i in range(k)
+                ]
+                protocol = PSOPProtocol(
+                    parties, fast=fast, n_workers=n_workers
+                )
+                started = time.perf_counter()
+                results[(k, n)] = protocol.run()
+                total += time.perf_counter() - started
+        return total, results
+
+    serial_seconds, serial_results = sweep(fast=False)
+    fast_seconds, fast_results = sweep(fast=True)
+
+    # Bit-identical protocol outputs for every configuration.
+    for key, serial in serial_results.items():
+        fast = fast_results[key]
+        assert serial.intersection == fast.intersection, key
+        assert serial.union == fast.union, key
+        assert serial.jaccard == fast.jaccard, key
+        assert serial.total_bytes == fast.total_bytes, key
+        assert serial.bytes_sent == fast.bytes_sent, key
+        assert serial.metadata == fast.metadata, key
+
+    # Fanning parties out over workers must not change anything either
+    # (largest n so the exponentiation batch really spans chunks).
+    k, n = 3, params["sizes"][-1]
+    parties = [
+        PSOPParty(f"P{i}", dataset(i, n), group, seed=i) for i in range(k)
+    ]
+    fanned = PSOPProtocol(parties, fast=True, n_workers=2).run()
+    assert fanned.intersection == fast_results[(k, n)].intersection
+    assert fanned.union == fast_results[(k, n)].union
+    assert fanned.total_bytes == fast_results[(k, n)].total_bytes
+
+    speedup = serial_seconds / fast_seconds
+    emit.table(
+        "Figure 8 fast path — end-to-end P-SOP sweep (seconds)",
+        ["path", "seconds", "speedup"],
+        [
+            ["serial ring", f"{serial_seconds:.2f}", ""],
+            ["batched fast path", f"{fast_seconds:.2f}", f"{speedup:.2f}x"],
+        ],
+    )
+    floor = FAST_PATH_SPEEDUP[scale]
+    assert speedup >= floor, (
+        f"fast path {speedup:.2f}x < required {floor:.1f}x "
+        f"(serial {serial_seconds:.2f}s, fast {fast_seconds:.2f}s)"
     )

@@ -13,6 +13,9 @@ Subcommands mirror the evaluation:
   directory (delta engine, warm caches, JSONL reports)
 * ``indaas drift``           — periodic audit across two DepDB snapshots
 * ``indaas importance``      — per-component importance measures
+* ``indaas pia``             — private audit over component-set files
+  (batched fast-path protocols; ``--workers`` fans deployments out,
+  ``--timings`` prints wall-clock/wire totals)
 * ``indaas example``         — Figure 4 worked example
 """
 
@@ -175,6 +178,25 @@ def build_parser() -> argparse.ArgumentParser:
         default="psop",
     )
     pia.add_argument("--group-bits", type=int, default=768)
+    pia.add_argument(
+        "--workers", type=int, default=0,
+        help=(
+            "fan deployment measurements out over a process pool "
+            "(0 = in-process, -1 = all cores; reports are identical "
+            "for any worker count)"
+        ),
+    )
+    pia.add_argument(
+        "--serial", action="store_true",
+        help=(
+            "run the serial reference protocols instead of the batched "
+            "fast path (same results, for timing comparisons)"
+        ),
+    )
+    pia.add_argument(
+        "--timings", action="store_true",
+        help="append protocol wall-clock and wire-byte totals",
+    )
 
     sub.add_parser("example", help="Figure 4 worked example")
     return parser
@@ -369,11 +391,36 @@ def _run_pia(args: argparse.Namespace) -> int:
         raise SpecificationError(
             "component-set file must map provider names to lists"
         )
-    auditor = PIAAuditor(
-        payload, protocol=args.protocol, group_bits=args.group_bits
-    )
+    if args.serial and args.workers:
+        raise SpecificationError(
+            "--serial and --workers are mutually exclusive: the serial "
+            "reference runs in-process"
+        )
+    if args.workers:
+        from repro.privacy.pipeline import PIAPipeline
+
+        auditor = PIAPipeline(
+            payload,
+            protocol=args.protocol,
+            group_bits=args.group_bits,
+            n_workers=args.workers,
+        )
+    else:
+        auditor = PIAAuditor(
+            payload,
+            protocol=args.protocol,
+            group_bits=args.group_bits,
+            fast=not args.serial,
+        )
     report = auditor.audit(ways=args.ways)
     print(report.render_text())
+    if args.timings:
+        mode = "serial" if args.serial else "fast"
+        print(
+            f"timings: {report.elapsed_seconds:.3f} s wall clock, "
+            f"{report.total_bytes} wire bytes "
+            f"({mode}, workers={args.workers})"
+        )
     return 0
 
 

@@ -1,6 +1,12 @@
 """Cryptographic substrate for private independence auditing."""
 
 from repro.crypto.commutative import CommutativeKey, SharedGroup, hash_to_group
+from repro.crypto.fastexp import (
+    batch_pow,
+    digit_table,
+    fixed_base_pow,
+    multi_exp,
+)
 from repro.crypto.hashing import HashFamily, element_digest
 from repro.crypto.paillier import (
     PaillierPrivateKey,
@@ -26,8 +32,12 @@ __all__ = [
     "PaillierPublicKey",
     "Permuter",
     "SharedGroup",
+    "batch_pow",
+    "digit_table",
     "element_digest",
+    "fixed_base_pow",
     "generate_keypair",
+    "multi_exp",
     "generate_prime",
     "generate_safe_prime",
     "hash_to_group",

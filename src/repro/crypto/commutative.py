@@ -25,23 +25,46 @@ from repro.errors import CryptoError
 
 __all__ = ["SharedGroup", "CommutativeKey", "hash_to_group"]
 
+#: Process-wide caches: safe-prime validation is ~80 Miller–Rabin
+#: exponentiations per group, so repeated audits must not pay it again
+#: for a modulus already vetted in this process.
+_VALIDATED_PRIMES: set[int] = set()
+_GROUP_CACHE: dict[int, "SharedGroup"] = {}
+
 
 @dataclass(frozen=True)
 class SharedGroup:
-    """The public group every P-SOP participant agrees on."""
+    """The public group every P-SOP participant agrees on.
+
+    Equality is by modulus: two ``SharedGroup`` instances over the same
+    prime are the same group (dataclass ``__eq__``), so protocol
+    compatibility checks compare primes rather than object identity.
+    """
 
     prime: int
 
     def __post_init__(self) -> None:
+        if self.prime in _VALIDATED_PRIMES:
+            return
         if not is_probable_prime(self.prime):
             raise CryptoError("group modulus is not prime")
         if not is_probable_prime((self.prime - 1) // 2):
             raise CryptoError("group modulus is not a safe prime")
+        _VALIDATED_PRIMES.add(self.prime)
 
     @classmethod
     def with_bits(cls, bits: int = 1024) -> "SharedGroup":
-        """Standard group of the requested size (published safe prime)."""
-        return cls(prime=safe_prime(bits))
+        """Standard group of the requested size (published safe prime).
+
+        Cached per bit size for the life of the process: repeated audits
+        reuse the vetted group instead of re-running Miller–Rabin keygen
+        (for non-standard sizes this also pins one generated prime).
+        """
+        group = _GROUP_CACHE.get(bits)
+        if group is None:
+            group = cls(prime=safe_prime(bits))
+            _GROUP_CACHE[bits] = group
+        return group
 
     @property
     def subgroup_order(self) -> int:
@@ -105,6 +128,12 @@ class CommutativeKey:
                 self._exponent = exponent
                 self._inverse = pow(exponent, -1, q)
                 break
+
+    @property
+    def exponent(self) -> int:
+        """The secret exponent (protocol drivers compose ring rounds by
+        multiplying exponents mod q; never leaves the simulation)."""
+        return self._exponent
 
     def encrypt(self, value: int) -> int:
         """E(m) = m^e mod p; ``value`` must be a group element."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 import hashlib
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.errors import CryptoError
 
 __all__ = ["HashFamily", "element_digest"]
@@ -41,6 +43,29 @@ class HashFamily:
             )
         payload = f"{self.seed}:{index}:{element}".encode("utf-8")
         return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+    def hash_matrix(self, elements: Sequence[str]) -> np.ndarray:
+        """All family values for a pool at once: ``out[i, j] = h_i(e_j)``.
+
+        Bit-identical to calling ``self(i, e_j)`` per cell, but the
+        per-member digest prefix ``"{seed}:{i}:"`` is absorbed into one
+        reusable hash context per row (``copy()`` + element update), and
+        each row materialises as a single NumPy vector — the MinHash
+        hot path consumes the matrix with vectorised column minima.
+        """
+        if not elements:
+            raise CryptoError("cannot hash an empty element pool")
+        encoded = [e.encode("utf-8") for e in elements]
+        out = np.empty((self.size, len(encoded)), dtype=np.uint64)
+        for index in range(self.size):
+            prefix = hashlib.sha256(f"{self.seed}:{index}:".encode("utf-8"))
+            row = bytearray()
+            for data in encoded:
+                ctx = prefix.copy()
+                ctx.update(data)
+                row += ctx.digest()[:8]
+            out[index] = np.frombuffer(bytes(row), dtype=">u8")
+        return out
 
     def functions(self) -> list[Callable[[str], int]]:
         """The family as a list of single-argument callables."""

@@ -103,21 +103,41 @@ class KSParty:
         self.elements = sorted(set(elements))
         if not self.elements:
             raise ProtocolError(f"party {name!r} has an empty dataset")
+        self.seed = seed
         self._rng = random.Random(seed)
         self.permuter = Permuter(seed=None if seed is None else seed + 1)
         self._lam_share: int = 0
+
+    def reseed(self, seed: int) -> None:
+        """Re-derive RNG and permuter from a protocol-assigned seed.
+
+        Called by :class:`KSProtocol` for parties constructed without a
+        seed, so unseeded runs are still reproducible end to end.
+        """
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.permuter = Permuter(seed=seed + 1)
+
+    def masked_polynomial(self, n: int) -> list[int]:
+        """Plaintext coefficients of ``f_j * r_j`` (draws the mask poly).
+
+        Split out so the batched driver can reproduce the exact RNG draw
+        order (mask coefficients first, encryption noise after) while
+        exponentiating in bulk.
+        """
+        roots = [_hash_element(e, n) for e in self.elements]
+        f = _poly_from_roots(roots, n)
+        r = [self._rng.randrange(1, n) for _ in range(len(roots) + 1)]
+        return _poly_multiply(f, r, n)
 
     def masked_encrypted_polynomial(
         self, public: PaillierPublicKey
     ) -> list[int]:
         """``Enc(f_j * r_j)`` coefficients (step 2)."""
-        n = public.n
-        roots = [_hash_element(e, n) for e in self.elements]
-        f = _poly_from_roots(roots, n)
-        r = [self._rng.randrange(1, n) for _ in range(len(roots) + 1)]
-        product = _poly_multiply(f, r, n)
         rng = self._rng
-        return [public.encrypt(c, rng) for c in product]
+        return [
+            public.encrypt(c, rng) for c in self.masked_polynomial(public.n)
+        ]
 
     def evaluate_encrypted(
         self, public: PaillierPublicKey, encrypted_coeffs: Sequence[int]
@@ -152,6 +172,11 @@ class KSProtocol:
         key_bits: Paillier modulus size (paper: 1024).
         keypair: Pre-generated keypair (key generation dominates small
             runs; benchmarks share one across configurations).
+        fast: Run the batched fast path (default).  The serial reference
+            remains available via ``fast=False`` / :meth:`run_serial`;
+            both produce bit-identical results for the same seeds.
+        n_workers: Process fan-out for the fast path's exponentiation
+            batches (0/1 = inline; results are identical for any count).
     """
 
     def __init__(
@@ -163,6 +188,9 @@ class KSProtocol:
         keypair: Optional[
             tuple[PaillierPublicKey, PaillierPrivateKey]
         ] = None,
+        *,
+        fast: bool = True,
+        n_workers: int = 0,
     ) -> None:
         if len(parties) < 2:
             raise ProtocolError("KS needs at least two parties")
@@ -170,12 +198,20 @@ class KSProtocol:
         if len(set(names)) != len(names):
             raise ProtocolError(f"duplicate party names: {names}")
         self.parties = list(parties)
+        self.fast = fast
+        self.n_workers = n_workers
         self.network = network if network is not None else ProtocolNetwork()
         self.network.register(names)
         if keypair is None:
             keypair = generate_keypair(key_bits, seed=seed)
         self.public, self.private = keypair
         self._deal_key_shares(seed)
+        if seed is not None:
+            seeder = random.Random(seed + 0x5EED)
+            for party in self.parties:
+                derived = seeder.randrange(1 << 62)
+                if party.seed is None:
+                    party.reseed(derived)
 
     def _deal_key_shares(self, seed: Optional[int]) -> None:
         """Additively share the decryption exponent λ across parties."""
@@ -198,6 +234,15 @@ class KSProtocol:
         return (l_value * self.private.mu) % public.n
 
     def run(self) -> KSResult:
+        """Execute the protocol (fast path unless ``fast=False``)."""
+        if self.fast:
+            from repro.privacy.pipeline import run_ks_fast
+
+            return run_ks_fast(self, n_workers=self.n_workers)
+        return self.run_serial()
+
+    def run_serial(self) -> KSResult:
+        """Reference execution: one exponentiation at a time."""
         started = time.perf_counter()
         public = self.public
         width = public.ciphertext_bytes
@@ -258,6 +303,19 @@ class KSProtocol:
                 )
 
         # Step 5: combine shares; zeros in party 0's batch = |intersection|.
+        return self._result(
+            batches, partials_by_party, len(aggregated) - 1, width, started
+        )
+
+    def _result(
+        self,
+        batches: Sequence[Sequence[int]],
+        partials_by_party: Sequence[Sequence[int]],
+        aggregated_degree: int,
+        width: int,
+        started: float,
+    ) -> KSResult:
+        """Threshold-combine the shares and assemble the result record."""
         intersection = 0
         for index in range(len(batches[0])):
             plaintext = self._threshold_decrypt(
@@ -275,6 +333,6 @@ class KSProtocol:
             ciphertext_bytes=width,
             metadata={
                 "dataset_sizes": [len(p.elements) for p in self.parties],
-                "aggregated_degree": len(aggregated) - 1,
+                "aggregated_degree": aggregated_degree,
             },
         )

@@ -48,14 +48,20 @@ class MinHashSignature:
 def minhash_signature(
     elements: Iterable[str], family: HashFamily
 ) -> MinHashSignature:
-    """Compute a signature under a shared hash family."""
+    """Compute a signature under a shared hash family.
+
+    The element pool is hashed once into an ``(m, |S|)`` matrix
+    (:meth:`~repro.crypto.hashing.HashFamily.hash_matrix`) and reduced
+    with vectorised column minima — the same values as ``m * |S|``
+    individual hash calls, without the per-call Python overhead.
+    """
     pool = list(elements)
     if not pool:
         raise AnalysisError("cannot MinHash an empty dataset")
-    mins = []
-    for index in range(family.size):
-        mins.append(min(family(index, e) for e in pool))
-    return MinHashSignature(mins=tuple(mins))
+    matrix = family.hash_matrix(pool)
+    return MinHashSignature(
+        mins=tuple(int(v) for v in matrix.min(axis=1))
+    )
 
 
 def estimate_jaccard(signatures: Sequence[MinHashSignature]) -> float:
@@ -63,8 +69,14 @@ def estimate_jaccard(signatures: Sequence[MinHashSignature]) -> float:
     if len(signatures) < 2:
         raise AnalysisError("need at least two signatures")
     size = signatures[0].size
-    if any(s.size != size for s in signatures):
-        raise AnalysisError("signatures must share the same hash family size")
+    if size == 0:
+        raise AnalysisError("cannot estimate from empty signatures")
+    sizes = {s.size for s in signatures}
+    if len(sizes) != 1:
+        raise AnalysisError(
+            "signatures must share the same hash family size; "
+            f"got sizes {sorted(sizes)}"
+        )
     agreeing = 0
     for i in range(size):
         first = signatures[0].mins[i]

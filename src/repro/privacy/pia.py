@@ -106,6 +106,8 @@ class PIAAuditor:
         group_bits: Commutative-group modulus size (paper: 1024).
         minhash_size: Signature length m for the MinHash variant.
         seed: Base seed for party keys/permutations (reproducibility).
+        fast: Run protocols through the batched fast path (default);
+            ``fast=False`` selects the serial reference execution.
     """
 
     def __init__(
@@ -115,6 +117,7 @@ class PIAAuditor:
         group_bits: int = 1024,
         minhash_size: int = 256,
         seed: Optional[int] = 0,
+        fast: bool = True,
     ) -> None:
         if len(component_sets) < 2:
             raise ProtocolError("PIA needs at least two providers")
@@ -129,6 +132,7 @@ class PIAAuditor:
         self.protocol = protocol
         self.minhash_size = minhash_size
         self.seed = seed
+        self.fast = fast
         self._group: Optional[SharedGroup] = None
         self._group_bits = group_bits
         self._family = HashFamily(size=minhash_size, seed=0 if seed is None else seed)
@@ -183,7 +187,7 @@ class PIAAuditor:
             )
             for i, name in enumerate(names)
         ]
-        result = PSOPProtocol(parties, network=network).run()
+        result = PSOPProtocol(parties, network=network, fast=self.fast).run()
         if self.protocol == "psop-minhash":
             # delta/m: agreeing slots over signature size (§4.2.4).
             return result.intersection / self.minhash_size, True, result.total_bytes

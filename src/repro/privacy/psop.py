@@ -14,10 +14,20 @@ Sharing the final datasets lets everyone count
 hence the Jaccard similarity — while nobody ever sees another provider's
 elements in the clear.  Multisets are supported by occurrence tagging
 (``e||1``, ``e||2``, ...), exactly as described in the paper.
+
+Two executions produce bit-identical results for the same seeds:
+
+* the *serial* reference (:meth:`PSOPProtocol.run_serial`) walks the
+  ring hop by hop, one exponentiation per element per hop;
+* the *fast* path (default; :mod:`repro.privacy.pipeline`) collapses the
+  ring algebraically — ``(((h^{e_0})^{e_1})...)^{e_{k-1}} =
+  h^{e_0 e_1 ... e_{k-1} mod q}`` — into one exponentiation per distinct
+  hashed element, replaying permuter draws and wire accounting exactly.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from collections import Counter
 from dataclasses import dataclass, field
@@ -68,20 +78,36 @@ class PSOPParty:
     ) -> None:
         self.name = name
         self.group = group
-        self.key = CommutativeKey(group, seed=seed)
-        self.permuter = Permuter(seed=None if seed is None else seed + 1)
+        self.seed = seed
+        self._build(seed)
         self._expanded = _expand_multiset(elements)
         if not self._expanded:
             raise ProtocolError(f"party {name!r} has an empty dataset")
+
+    def _build(self, seed: Optional[int]) -> None:
+        self.key = CommutativeKey(self.group, seed=seed)
+        self.permuter = Permuter(seed=None if seed is None else seed + 1)
+
+    def reseed(self, seed: int) -> None:
+        """Re-derive key and permuter from a protocol-assigned seed.
+
+        Called by :class:`PSOPProtocol` for parties constructed without
+        a seed, so unseeded runs are still reproducible end to end.
+        """
+        self.seed = seed
+        self._build(seed)
 
     @property
     def size(self) -> int:
         return len(self._expanded)
 
+    def hashed_elements(self) -> list[int]:
+        """The local dataset hashed into the shared group, local order."""
+        return [hash_to_group(e, self.group) for e in self._expanded]
+
     def initial_dataset(self) -> list[int]:
         """Hash, encrypt with own key, and permute the local dataset."""
-        hashed = [hash_to_group(e, self.group) for e in self._expanded]
-        encrypted = self.key.encrypt_many(hashed)
+        encrypted = self.key.encrypt_many(self.hashed_elements())
         return self.permuter.shuffle(encrypted)
 
     def reencrypt(self, dataset: Sequence[int]) -> list[int]:
@@ -115,27 +141,54 @@ class PSOPProtocol:
         parties: The participating providers (ring order = list order).
         network: Optional shared byte-accounting fabric; a fresh one is
             created when omitted.
+        seed: Protocol seed used to deterministically reseed any party
+            constructed without one (``None`` opts out and leaves those
+            parties nondeterministic).
+        fast: Run the batched fast path (default).  The serial reference
+            remains available via ``fast=False`` / :meth:`run_serial`;
+            both produce bit-identical results for the same seeds.
+        n_workers: Process fan-out for the fast path's exponentiation
+            batches (0/1 = inline; results are identical for any count).
     """
 
     def __init__(
         self,
         parties: Sequence[PSOPParty],
         network: Optional[ProtocolNetwork] = None,
+        *,
+        seed: Optional[int] = 0,
+        fast: bool = True,
+        n_workers: int = 0,
     ) -> None:
         if len(parties) < 2:
             raise ProtocolError("P-SOP needs at least two parties")
         names = [p.name for p in parties]
         if len(set(names)) != len(names):
             raise ProtocolError(f"duplicate party names: {names}")
-        groups = {id(p.group) for p in parties}
-        if len(groups) != 1:
+        if len({p.group.prime for p in parties}) != 1:
             raise ProtocolError("all parties must share one group")
         self.parties = list(parties)
+        self.fast = fast
+        self.n_workers = n_workers
+        if seed is not None:
+            seeder = random.Random(seed)
+            for party in self.parties:
+                derived = seeder.randrange(1 << 62)
+                if party.seed is None:
+                    party.reseed(derived)
         self.network = network if network is not None else ProtocolNetwork()
         self.network.register(names)
 
     def run(self) -> PSOPResult:
-        """Execute the full ring protocol and compute the similarity."""
+        """Execute the protocol (fast path unless ``fast=False``)."""
+        if self.fast:
+            from repro.privacy.pipeline import run_psop_fast
+
+            return run_psop_fast(self, n_workers=self.n_workers)
+        return self.run_serial()
+
+    def run_serial(self) -> PSOPResult:
+        """Reference execution: walk the ring hop by hop."""
         started = time.perf_counter()
         k = len(self.parties)
         group = self.parties[0].group
@@ -181,6 +234,16 @@ class PSOPProtocol:
                 )
 
         counters = [Counter(d) for d in datasets]
+        return self._result(counters, width, started)
+
+    def _result(
+        self,
+        counters: Sequence[Counter],
+        width: int,
+        started: float,
+    ) -> PSOPResult:
+        """Count intersection/union and assemble the result record."""
+        k = len(self.parties)
         keys: set[int] = set()
         for counter in counters:
             keys.update(counter)

@@ -29,6 +29,13 @@ class TestSharedGroup:
     def test_element_bytes(self, group):
         assert group.element_bytes == 96  # 768 bits
 
+    def test_with_bits_cached_per_size(self, group):
+        """Repeated audits reuse the vetted group: no fresh Miller–Rabin."""
+        assert SharedGroup.with_bits(768) is SharedGroup.with_bits(768)
+
+    def test_same_prime_groups_compare_equal(self, group):
+        assert SharedGroup(prime=group.prime) == group
+
 
 class TestHashToGroup:
     def test_deterministic(self, group):
@@ -93,3 +100,11 @@ class TestCommutativeKey:
         k2 = CommutativeKey(group, seed=42)
         m = hash_to_group("x", group)
         assert k1.encrypt(m) == k2.encrypt(m)
+
+    def test_exponent_composition(self, group, keys):
+        """The ring-collapse identity the fast path relies on:
+        (m^a)^b = m^(a*b mod q) on the QR subgroup."""
+        a, b = keys
+        m = hash_to_group("element", group)
+        composed = a.exponent * b.exponent % group.subgroup_order
+        assert pow(m, composed, group.prime) == a.encrypt(b.encrypt(m))

@@ -3,8 +3,10 @@
 import random
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.crypto import generate_keypair
+from repro.crypto.paillier import PaillierPrivateKey
 from repro.errors import CryptoError
 
 
@@ -85,3 +87,55 @@ class TestHomomorphisms:
         for coeff in reversed(encrypted[:-1]):
             acc = public.add(public.multiply_plain(acc, x), coeff)
         assert private.decrypt(acc) == 3 + 2 * 49
+
+
+class TestCRTDecryption:
+    def test_keypair_carries_factors(self, keypair):
+        public, private = keypair
+        assert private.p is not None and private.q is not None
+        assert private.p * private.q == public.n
+
+    @settings(max_examples=60, deadline=None)
+    @given(message=st.integers(0, (1 << 256) - 1), noise_seed=st.integers())
+    def test_crt_matches_plain_path(self, keypair, message, noise_seed):
+        """CRT and single-exponentiation decryption are bit-identical."""
+        public, private = keypair
+        plain_key = PaillierPrivateKey(
+            public=public, lam=private.lam, mu=private.mu
+        )
+        ciphertext = public.encrypt(message, random.Random(noise_seed))
+        assert private.decrypt(ciphertext) == plain_key.decrypt(ciphertext)
+
+    def test_plain_path_still_round_trips(self, keypair):
+        public, private = keypair
+        plain_key = PaillierPrivateKey(
+            public=public, lam=private.lam, mu=private.mu
+        )
+        assert plain_key.decrypt(public.encrypt(424242)) == 424242
+
+
+class TestBatchedEncryptionSplit:
+    def test_draw_noise_plus_raw_encrypt_matches_encrypt(self, keypair):
+        """The staged hot path reproduces the one-shot transcript."""
+        public, _ = keypair
+        staged_rng, direct_rng = random.Random(9), random.Random(9)
+        for message in (0, 1, 123456789, public.n - 1):
+            r = public.draw_noise(staged_rng)
+            staged = public.raw_encrypt(message, pow(r, public.n, public.nsq))
+            assert staged == public.encrypt(message, direct_rng)
+
+    def test_fallback_rng_is_reproducible(self, keypair, monkeypatch):
+        """rng=None draws from one seeded process-wide stream, not a
+        fresh OS-seeded Random per call."""
+        from repro.crypto import paillier as paillier_module
+
+        public, private = keypair
+        monkeypatch.setattr(
+            paillier_module, "_FALLBACK_RNG", random.Random(77)
+        )
+        first = public.encrypt(5)
+        monkeypatch.setattr(
+            paillier_module, "_FALLBACK_RNG", random.Random(77)
+        )
+        assert public.encrypt(5) == first
+        assert private.decrypt(first) == 5

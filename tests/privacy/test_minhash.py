@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.crypto import HashFamily
 from repro.errors import AnalysisError
 from repro.privacy import estimate_jaccard, jaccard, minhash_signature
+from repro.privacy.minhash import MinHashSignature
 
 
 @pytest.fixture(scope="module")
@@ -33,6 +34,25 @@ class TestSignature:
         assert len(elements) == 256
         assert elements[0].startswith("0:")
         assert elements[255].startswith("255:")
+
+    def test_vectorised_signature_matches_per_call_hashing(self):
+        """The (m, |S|) matrix path computes the exact family values."""
+        family = HashFamily(size=16, seed=42)
+        pool = ["libc6@2.19", "openssl@1.0", "nginx@1.4", "zlib@1.2"]
+        sig = minhash_signature(pool, family)
+        expected = tuple(
+            min(family(i, e) for e in pool) for i in range(family.size)
+        )
+        assert sig.mins == expected
+
+    def test_hash_matrix_cells_match_family_calls(self):
+        family = HashFamily(size=5, seed=3)
+        pool = ["a", "bb", "ccc"]
+        matrix = family.hash_matrix(pool)
+        assert matrix.shape == (5, 3)
+        for i in range(5):
+            for j, element in enumerate(pool):
+                assert int(matrix[i, j]) == family(i, element)
 
 
 class TestEstimation:
@@ -65,8 +85,15 @@ class TestEstimation:
     def test_mismatched_sizes_rejected(self, family):
         a = minhash_signature(["x"], family)
         b = minhash_signature(["x"], HashFamily(size=16, seed=0))
-        with pytest.raises(AnalysisError):
+        with pytest.raises(
+            AnalysisError, match="same hash family size.*16, 256"
+        ):
             estimate_jaccard([a, b])
+
+    def test_empty_signatures_rejected(self):
+        empty = MinHashSignature(mins=())
+        with pytest.raises(AnalysisError, match="empty"):
+            estimate_jaccard([empty, empty])
 
     def test_single_signature_rejected(self, family):
         with pytest.raises(AnalysisError):

@@ -1,0 +1,233 @@
+"""End-to-end parity tests for the batched PIA fast path.
+
+The contract (DESIGN.md "PIA fast path"): for the same seeds the
+batched drivers produce results bit-identical to the serial reference
+protocols — same counts, same transfer log, same per-party RNG end
+states — for any worker count.
+"""
+
+import pytest
+
+from repro.crypto import SharedGroup, generate_keypair
+from repro.errors import ProtocolError
+from repro.privacy import (
+    KSParty,
+    KSProtocol,
+    PIAAuditor,
+    PIAPipeline,
+    PSOPParty,
+    PSOPProtocol,
+)
+from repro.privacy.network_sim import ProtocolNetwork
+
+
+@pytest.fixture(scope="module")
+def group() -> SharedGroup:
+    return SharedGroup.with_bits(768)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(bits=256, seed=0)
+
+
+DATASETS = {
+    "A": ["x", "y", "z", "shared"],
+    "B": ["y", "w", "shared"],
+    "C": {"shared": 2, "z": 1},
+}
+
+
+def make_psop(group, fast, n_workers=0, seeds=(0, 1, 2)):
+    parties = [
+        PSOPParty(name, elements, group, seed=seed)
+        for (name, elements), seed in zip(DATASETS.items(), seeds)
+    ]
+    protocol = PSOPProtocol(
+        parties, network=ProtocolNetwork(), fast=fast, n_workers=n_workers
+    )
+    return protocol, parties
+
+
+def assert_psop_equal(left, right):
+    for field in (
+        "parties",
+        "intersection",
+        "union",
+        "jaccard",
+        "bytes_sent",
+        "total_bytes",
+        "element_bytes",
+        "metadata",
+    ):
+        assert getattr(left, field) == getattr(right, field), field
+
+
+class TestPSOPFastPath:
+    def test_bit_identical_to_serial(self, group):
+        serial_protocol, serial_parties = make_psop(group, fast=False)
+        fast_protocol, fast_parties = make_psop(group, fast=True)
+        serial = serial_protocol.run_serial()
+        fast = fast_protocol.run()
+        assert_psop_equal(serial, fast)
+        # Same transfer log, message by message.
+        assert serial_protocol.network.transfers == fast_protocol.network.transfers
+        # Same permuter end state: later draws must agree.
+        for a, b in zip(serial_parties, fast_parties):
+            assert a.permuter.permutation(16) == b.permuter.permutation(16)
+
+    def test_worker_count_does_not_affect_results(self, group):
+        inline = make_psop(group, fast=True, n_workers=0)[0].run()
+        fanned = make_psop(group, fast=True, n_workers=2)[0].run()
+        assert_psop_equal(inline, fanned)
+
+    def test_unseeded_parties_are_reseeded_reproducibly(self, group):
+        """Satellite: no silent nondeterminism — a protocol seed pins
+        parties constructed without one."""
+        results = []
+        for _ in range(2):
+            parties = [
+                PSOPParty(name, elements, group, seed=None)
+                for name, elements in DATASETS.items()
+            ]
+            protocol = PSOPProtocol(
+                parties, network=ProtocolNetwork(), seed=7
+            )
+            results.append((protocol.run(), protocol.network.transfers))
+        assert_psop_equal(results[0][0], results[1][0])
+        assert results[0][1] == results[1][1]
+
+    def test_two_party_wire_volume_preserved(self, group):
+        """The fast path replays the exact serial wire schedule."""
+        parties = [
+            PSOPParty("A", ["x"], group, seed=0),
+            PSOPParty("B", ["y"], group, seed=1),
+        ]
+        result = PSOPProtocol(parties).run()
+        assert result.total_bytes == 4 * group.element_bytes
+
+
+def make_ks(keypair, fast, n_workers=0, seeds=(3, 4, 5)):
+    datasets = {
+        "A": ["x", "y", "z", "common"],
+        "B": ["common", "y", "q"],
+        "C": ["common", "z", "x", "v"],
+    }
+    parties = [
+        KSParty(name, elements, seed=seed)
+        for (name, elements), seed in zip(datasets.items(), seeds)
+    ]
+    protocol = KSProtocol(
+        parties,
+        keypair=keypair,
+        network=ProtocolNetwork(),
+        fast=fast,
+        n_workers=n_workers,
+    )
+    return protocol, parties
+
+
+def assert_ks_equal(left, right):
+    for field in (
+        "parties",
+        "intersection",
+        "bytes_sent",
+        "total_bytes",
+        "ciphertext_bytes",
+        "metadata",
+    ):
+        assert getattr(left, field) == getattr(right, field), field
+
+
+class TestKSFastPath:
+    def test_bit_identical_to_serial(self, keypair):
+        serial_protocol, serial_parties = make_ks(keypair, fast=False)
+        fast_protocol, fast_parties = make_ks(keypair, fast=True)
+        serial = serial_protocol.run_serial()
+        fast = fast_protocol.run()
+        assert_ks_equal(serial, fast)
+        assert serial_protocol.network.transfers == fast_protocol.network.transfers
+        # Same RNG and permuter end states.
+        for a, b in zip(serial_parties, fast_parties):
+            assert a._rng.random() == b._rng.random()
+            assert a.permuter.permutation(8) == b.permuter.permutation(8)
+
+    def test_worker_count_does_not_affect_results(self, keypair):
+        inline_protocol, _ = make_ks(keypair, fast=True, n_workers=0)
+        fanned_protocol, _ = make_ks(keypair, fast=True, n_workers=2)
+        inline, fanned = inline_protocol.run(), fanned_protocol.run()
+        assert_ks_equal(inline, fanned)
+        assert inline_protocol.network.transfers == fanned_protocol.network.transfers
+
+    def test_unseeded_parties_are_reseeded_reproducibly(self, keypair):
+        results = []
+        for _ in range(2):
+            parties = [
+                KSParty("A", ["x", "y", "c"], seed=None),
+                KSParty("B", ["c", "z"], seed=None),
+            ]
+            protocol = KSProtocol(
+                parties, keypair=keypair, network=ProtocolNetwork(), seed=11
+            )
+            results.append((protocol.run(), protocol.network.transfers))
+        assert_ks_equal(results[0][0], results[1][0])
+        assert results[0][1] == results[1][1]
+
+
+SETS = {
+    "CloudA": ["a", "b", "s"],
+    "CloudB": ["c", "s"],
+    "CloudC": ["d", "e", "s"],
+    "CloudD": ["f", "s", "a"],
+}
+
+
+class TestPIAPipeline:
+    @pytest.mark.parametrize("protocol", ["plaintext", "psop", "psop-minhash"])
+    def test_matches_auditor(self, protocol):
+        auditor = PIAAuditor(
+            SETS, protocol=protocol, group_bits=768, minhash_size=32
+        ).audit(ways=2)
+        pipeline = PIAPipeline(
+            SETS, protocol=protocol, group_bits=768, minhash_size=32
+        ).audit(ways=2)
+        assert pipeline.entries == auditor.entries
+        assert pipeline.total_bytes == auditor.total_bytes
+        assert pipeline.protocol == auditor.protocol
+
+    def test_worker_count_does_not_affect_report(self):
+        reports = [
+            PIAPipeline(
+                SETS, protocol="psop", group_bits=768, n_workers=n
+            ).audit(ways=2)
+            for n in (0, 2)
+        ]
+        assert reports[0].entries == reports[1].entries
+        assert reports[0].total_bytes == reports[1].total_bytes
+
+    def test_three_way(self):
+        report = PIAPipeline(SETS, protocol="plaintext").audit(ways=3)
+        assert len(report.entries) == 4  # C(4, 3)
+        assert report.entries[0].rank == 1
+
+    def test_subset_of_providers(self):
+        report = PIAPipeline(SETS, protocol="plaintext").audit(
+            ways=2, providers=["CloudA", "CloudB"]
+        )
+        assert len(report.entries) == 1
+
+    def test_unknown_provider_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown providers"):
+            PIAPipeline(SETS).audit(ways=2, providers=["CloudA", "Nope"])
+
+    def test_needs_two_providers(self):
+        with pytest.raises(ProtocolError):
+            PIAPipeline({"only": ["x"]})
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ProtocolError):
+            PIAPipeline({"A": ["x"], "B": []})
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ProtocolError):
+            PIAPipeline(SETS, protocol="magic")

@@ -46,6 +46,48 @@ class TestPiaCommand:
             ["pia", sets_file, "--protocol", "plaintext", "--ways", "3"]
         ) == 0
 
+    def test_timings_line(self, sets_file, capsys):
+        assert main(
+            [
+                "pia", sets_file, "--protocol", "psop",
+                "--group-bits", "768", "--timings",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "timings:" in out
+        assert "wire bytes" in out
+
+    def test_serial_matches_fast_ranking(self, sets_file, capsys):
+        assert main(
+            [
+                "pia", sets_file, "--protocol", "psop",
+                "--group-bits", "768", "--serial",
+            ]
+        ) == 0
+        serial_out = capsys.readouterr().out
+        assert main(
+            ["pia", sets_file, "--protocol", "psop", "--group-bits", "768"]
+        ) == 0
+        fast_out = capsys.readouterr().out
+        assert serial_out == fast_out
+
+    def test_serial_with_workers_rejected(self, sets_file, capsys):
+        assert main(
+            ["pia", sets_file, "--serial", "--workers", "2"]
+        ) == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_workers_pipeline(self, sets_file, capsys):
+        assert main(
+            [
+                "pia", sets_file, "--protocol", "psop",
+                "--group-bits", "768", "--workers", "2", "--timings",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Jaccard" in out
+        assert "workers=2" in out
+
     def test_invalid_json(self, tmp_path, capsys):
         path = tmp_path / "bad.json"
         path.write_text("{broken")
