@@ -1,0 +1,156 @@
+"""Structural fast path: BDD cut-set extraction vs MOCUS (ISSUE 4).
+
+Workload: the Figure-9 setting scaled to stress the exact route — k
+providers with half-shared component sets, audited as one k-way
+deployment.  The fault graph is an AND of k ORs sharing a common pool,
+so the MOCUS traversal forms the full cartesian product of the
+providers' families (n^k raw unions, most of them absorbed by the
+shared singletons) while the compiled BDD stays linear in the
+component count and Rauzy's minimal-solutions recursion enumerates
+each minimal cut set exactly once.
+
+Acceptance (both hold on a single-core runner):
+
+* ``minimal_risk_groups(method="bdd")`` — including compilation — is
+  >= 3x faster than ``method="mocus"`` on the fig9-scale topology, at
+  *bit-identical* sorted families;
+* the :class:`~repro.analysis.planner.MitigationPlanner` emits a plan
+  that is bit-identical for any worker count (worker-invariance, not
+  wall-clock: fan-out cannot change results, per the engine contract).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.analysis.planner import MitigationPlanner
+from repro.core import ComponentSets
+from repro.core.minimal_rg import minimal_risk_groups
+from repro.engine import AuditEngine
+
+PARAMS = {
+    "smoke": {"ways": 3, "elements": 24, "top_k": 3},
+    "quick": {"ways": 3, "elements": 40, "top_k": 4},
+    "paper": {"ways": 3, "elements": 60, "top_k": 5},
+}
+
+MIN_SPEEDUP = 3.0
+WORKER_COUNTS = (1, 2, 4)
+
+
+def provider_sets(k: int, n: int) -> dict[str, list[str]]:
+    """Half-shared component-sets (the §6.3.3 setting, as in Figure 9)."""
+    half = n // 2
+    return {
+        f"P{i}": [f"shared-{j}" for j in range(half)]
+        + [f"p{i}-{j}" for j in range(n - half)]
+        for i in range(k)
+    }
+
+
+def fig9_graph(ways: int, elements: int):
+    sets = ComponentSets.from_mapping(provider_sets(ways, elements))
+    return sets.to_fault_graph(f"fig9-{ways}way")
+
+
+def best_of(repeats: int, fn):
+    """Best-of-N wall clock, to damp scheduler noise on shared runners."""
+    result, best = None, float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def test_bdd_extraction_speedup_at_identical_families(benchmark, emit, scale):
+    params = PARAMS[scale]
+    graph = fig9_graph(params["ways"], params["elements"])
+    stats = graph.stats()
+
+    mocus, mocus_seconds = best_of(
+        2, lambda: minimal_risk_groups(graph, method="mocus")
+    )
+    # A fresh compilation per run: the gate covers compile + extract.
+    bdd_family, bdd_seconds = best_of(
+        2, lambda: minimal_risk_groups(graph, method="bdd")
+    )
+    speedup = mocus_seconds / bdd_seconds
+
+    emit.table(
+        f"BDD cut-set extraction vs MOCUS — fig9 topology, "
+        f"{params['ways']}-way deployment, {stats['basic_events']} "
+        f"components, {len(mocus)} minimal RGs",
+        ["route", "seconds", "speedup"],
+        [
+            ["MOCUS traversal", f"{mocus_seconds:.4f}", "1.0x"],
+            ["BDD (compile + Rauzy)", f"{bdd_seconds:.4f}", f"{speedup:.1f}x"],
+        ],
+    )
+
+    # The determinism contract: the families are bit-identical, down to
+    # the (size, lexicographic) ordering both routes promise.
+    assert bdd_family == mocus
+    assert minimal_risk_groups(graph) == mocus  # auto takes the fast path
+
+    # The headline acceptance criterion.
+    assert speedup >= MIN_SPEEDUP, (
+        f"BDD extraction only {speedup:.2f}x faster than MOCUS"
+    )
+
+    benchmark.pedantic(
+        lambda: minimal_risk_groups(graph, method="bdd"),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_planner_output_is_worker_invariant(benchmark, emit, scale):
+    params = PARAMS[scale]
+    graph = fig9_graph(params["ways"], params["elements"])
+    # Varied weights so the importance ranking has real structure.
+    weights = {
+        name: 0.02 + (index % 97) / 1000.0
+        for index, name in enumerate(graph.basic_events())
+    }
+    weighted = graph.map_probabilities(lambda e: weights[e.name])
+
+    started = time.perf_counter()
+    serial_plan = MitigationPlanner(weighted).plan(top_k=params["top_k"])
+    serial_seconds = time.perf_counter() - started
+    reference = json.dumps(serial_plan.to_dict())
+
+    rows = [["no engine (inline)", f"{serial_seconds:.3f}", "reference"]]
+    for workers in WORKER_COUNTS:
+        engine = AuditEngine(n_workers=workers)
+        started = time.perf_counter()
+        plan = MitigationPlanner(weighted, engine=engine).plan(
+            top_k=params["top_k"]
+        )
+        seconds = time.perf_counter() - started
+        identical = json.dumps(plan.to_dict()) == reference
+        rows.append(
+            [f"{workers} worker(s)", f"{seconds:.3f}", str(identical)]
+        )
+        # Worker-invariance is the gate; wall clock is informational
+        # (a single-core runner cannot show fan-out speedups).
+        assert identical, f"plan changed with {workers} workers"
+
+    emit.table(
+        f"Mitigation planner worker-invariance — "
+        f"{2 * params['top_k']} candidates over "
+        f"{weighted.stats()['basic_events']} components",
+        ["configuration", "seconds", "bit-identical"],
+        rows,
+    )
+    assert len(serial_plan.outcomes) == serial_plan.considered
+    assert serial_plan.outcomes[0].absolute_reduction >= max(
+        o.absolute_reduction for o in serial_plan.outcomes
+    )
+
+    benchmark.pedantic(
+        lambda: MitigationPlanner(weighted).plan(top_k=params["top_k"]),
+        rounds=1,
+        iterations=1,
+    )

@@ -13,6 +13,7 @@ from repro.analysis.drift import (
     diff_depdbs,
     drift_report,
 )
+from repro.analysis.planner import MitigationPlan, MitigationPlanner
 from repro.analysis.whatif import (
     Duplicate,
     Harden,
@@ -32,6 +33,8 @@ __all__ = [
     "Duplicate",
     "Harden",
     "MitigationOutcome",
+    "MitigationPlan",
+    "MitigationPlanner",
     "FormalAnalysisResult",
     "HardwareCaseResult",
     "NetworkCaseResult",

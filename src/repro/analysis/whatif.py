@@ -27,10 +27,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
-from repro.core.bdd import compile_graph
+from repro.core.bdd import BDD, compile_graph
 from repro.core.events import GateType, validate_probability
 from repro.core.faultgraph import FaultGraph
-from repro.core.minimal_rg import minimal_risk_groups, unexpected_risk_groups
+from repro.core.minimal_rg import (
+    DEFAULT_MAX_GROUPS,
+    minimal_risk_groups,
+    node_budget,
+    unexpected_risk_groups,
+)
 from repro.errors import AnalysisError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -103,6 +108,13 @@ class Duplicate:
         primary = f"{self.component}#primary"
         replica = f"{self.component}#replica"
         pair = f"{self.component}#pair"
+        taken = [n for n in (primary, replica, pair) if n in graph]
+        if taken:
+            raise AnalysisError(
+                f"cannot duplicate {self.component!r}: the graph already "
+                f"contains {', '.join(repr(n) for n in taken)} (duplicate "
+                f"the surviving basic component instead)"
+            )
         renamed = graph.relabel({self.component: primary})
         clone = FaultGraph(renamed.name)
         pair_added = False
@@ -180,8 +192,24 @@ class MitigationOutcome:
         )
 
 
+def groups_for(bdd: BDD, graph: FaultGraph, method: str):
+    """The one cut-set dispatch for every what-if/planner call site.
+
+    BDD routes (``auto``/``bdd``) reuse the already-compiled diagram —
+    the probability query needed it anyway — under the shared
+    ``DEFAULT_MAX_GROUPS`` valve; ``mocus`` re-traverses the graph so
+    explicit-MOCUS runs exercise the reference algorithm end to end.
+    """
+    if method == "mocus":
+        return minimal_risk_groups(graph, method="mocus")
+    return bdd.minimal_cut_sets(max_groups=DEFAULT_MAX_GROUPS)
+
+
 def _evaluate_one_mitigation(
-    weighted: FaultGraph, mitigation: Mitigation, redundancy: int
+    weighted: FaultGraph,
+    mitigation: Mitigation,
+    redundancy: int,
+    method: str = "auto",
 ) -> tuple[float, int]:
     """Apply one mitigation and measure Pr(top) + unexpected-RG count.
 
@@ -189,11 +217,15 @@ def _evaluate_one_mitigation(
     """
     mitigated = mitigation.apply(weighted)
     probs = mitigated.probabilities()
-    after_probability = compile_graph(mitigated).probability(probs)
+    # The cut-set valve must bound the compile too: an adversarial
+    # variable ordering makes the diagram itself exponential.
+    bdd = compile_graph(
+        mitigated, max_nodes=node_budget(DEFAULT_MAX_GROUPS)
+    )
+    after_probability = bdd.probability(probs)
+    groups = groups_for(bdd, mitigated, method)
     after_unexpected = len(
-        unexpected_risk_groups(
-            minimal_risk_groups(mitigated), expected_size=redundancy
-        )
+        unexpected_risk_groups(groups, expected_size=redundancy)
     )
     return after_probability, after_unexpected
 
@@ -204,6 +236,9 @@ def evaluate_mitigations(
     probabilities: Optional[Mapping[str, float]] = None,
     redundancy: int = 2,
     engine: Optional["AuditEngine"] = None,
+    method: str = "auto",
+    baseline_groups: Optional[Sequence[frozenset[str]]] = None,
+    baseline_bdd: Optional[BDD] = None,
 ) -> list[MitigationOutcome]:
     """Rank candidate mitigations by top-event probability reduction.
 
@@ -215,7 +250,19 @@ def evaluate_mitigations(
         engine: Optional :class:`~repro.engine.AuditEngine`; candidates
             are evaluated across its worker processes and the baseline
             graph's BDD comes from its cache.  Results are identical with
-            or without an engine.
+            or without an engine, for any worker count.
+        method: Minimal-RG route for the unexpected-RG counts (see
+            :func:`~repro.core.minimal_rg.minimal_risk_groups`).  The
+            default reuses each candidate's already-compiled BDD, since
+            the probability query needs the diagram anyway.
+        baseline_groups: The unmitigated graph's minimal RGs, if the
+            caller already has them (the planner computes them for
+            candidate generation); must be exactly what the chosen
+            ``method`` would return, or the before/after counts skew.
+        baseline_bdd: A compiled BDD of the unmitigated weighted graph,
+            if the caller already has one (same proof obligation: it
+            must be structurally identical to ``graph`` under the given
+            weights).
 
     Returns:
         Outcomes sorted best-first (largest probability reduction).
@@ -228,24 +275,31 @@ def evaluate_mitigations(
     weighted = graph.map_probabilities(
         lambda e: base_probs.get(e.name, e.probability)
     )
-    compile_baseline = engine.compile_bdd if engine is not None else compile_graph
-    before_probability = compile_baseline(weighted).probability(base_probs)
-    before_unexpected = len(
-        unexpected_risk_groups(
-            minimal_risk_groups(weighted), expected_size=redundancy
+    if baseline_bdd is None:
+        baseline_bdd = (
+            engine.compile_bdd(weighted)
+            if engine is not None
+            else compile_graph(
+                weighted, max_nodes=node_budget(DEFAULT_MAX_GROUPS)
+            )
         )
+    before_probability = baseline_bdd.probability(base_probs)
+    if baseline_groups is None:
+        baseline_groups = groups_for(baseline_bdd, weighted, method)
+    before_unexpected = len(
+        unexpected_risk_groups(baseline_groups, expected_size=redundancy)
     )
     if engine is not None and engine.n_workers > 1 and len(mitigations) > 1:
         from repro.engine.parallel import map_jobs
 
         measurements = map_jobs(
             _evaluate_one_mitigation,
-            [(weighted, m, redundancy) for m in mitigations],
+            [(weighted, m, redundancy, method) for m in mitigations],
             engine.n_workers,
         )
     else:
         measurements = [
-            _evaluate_one_mitigation(weighted, m, redundancy)
+            _evaluate_one_mitigation(weighted, m, redundancy, method)
             for m in mitigations
         ]
     outcomes = [

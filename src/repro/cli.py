@@ -13,6 +13,9 @@ Subcommands mirror the evaluation:
   directory (delta engine, warm caches, JSONL reports)
 * ``indaas drift``           — periodic audit across two DepDB snapshots
 * ``indaas importance``      — per-component importance measures
+* ``indaas plan``            — ranked mitigation plan ("which fix
+  first"): Harden/Duplicate candidates from the importance ranking,
+  evaluated in parallel (``--workers``), bit-identical for any count
 * ``indaas pia``             — private audit over component-set files
   (batched fast-path protocols; ``--workers`` fans deployments out,
   ``--timings`` prints wall-clock/wire totals)
@@ -161,6 +164,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="uniform component failure probability (default 0.1)",
     )
     importance.add_argument("--top", type=int, default=10)
+
+    plan = sub.add_parser(
+        "plan", help="ranked mitigation plan for one deployment"
+    )
+    plan.add_argument("depdb", help="path to a DepDB dump")
+    plan.add_argument("--servers", required=True)
+    plan.add_argument(
+        "--probability", type=float, default=0.1,
+        help="uniform component failure probability (default 0.1)",
+    )
+    plan.add_argument(
+        "--method", choices=("auto", "bdd", "mocus"), default="auto",
+        help=(
+            "minimal risk-group route (auto picks the BDD fast path on "
+            "product-forming graphs; families are identical either way)"
+        ),
+    )
+    plan.add_argument(
+        "--workers", type=int, default=0,
+        help=(
+            "evaluate mitigation candidates across a process pool "
+            "(0 = in-process, -1 = all cores; the plan is identical "
+            "for any worker count)"
+        ),
+    )
+    plan.add_argument(
+        "--top-k", type=int, default=5, dest="top_k",
+        help="components (by importance) to generate candidates for",
+    )
+    plan.add_argument(
+        "--budget", type=int, default=None,
+        help="keep only the best N mitigations in the plan",
+    )
+    plan.add_argument(
+        "--json", action="store_true",
+        help="emit the plan as JSON instead of text",
+    )
 
     pia = sub.add_parser(
         "pia", help="private audit over component-set JSON files"
@@ -376,6 +416,35 @@ def _run_importance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.audit import SIAAuditor
+    from repro.core.spec import AuditSpec
+    from repro.depdb.database import DepDB
+    from repro.engine import AuditEngine
+    from repro.failures import uniform_weigher
+
+    with open(args.depdb, encoding="utf-8") as handle:
+        depdb = DepDB.loads(handle.read())
+    servers = _parse_servers(args.servers)
+    engine = AuditEngine(n_workers=args.workers) if args.workers else None
+    auditor = SIAAuditor(
+        depdb, weigher=uniform_weigher(args.probability), engine=engine
+    )
+    plan = auditor.mitigation_plan(
+        AuditSpec(deployment=" & ".join(servers), servers=servers),
+        top_k=args.top_k,
+        budget=args.budget,
+        method=args.method,
+    )
+    if args.json:
+        print(json.dumps(plan.to_dict()))
+    else:
+        print(plan.render_text())
+    return 0
+
+
 def _run_pia(args: argparse.Namespace) -> int:
     import json
 
@@ -463,6 +532,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_drift(args)
         if args.command == "importance":
             return _run_importance(args)
+        if args.command == "plan":
+            return _run_plan(args)
         if args.command == "pia":
             return _run_pia(args)
         return _run_example()

@@ -17,12 +17,14 @@ benchmarks against the inclusion–exclusion and Monte-Carlo routes.
 
 from __future__ import annotations
 
+import sys
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.core.events import GateType
 from repro.core.faultgraph import FaultGraph
-from repro.core.minimal_rg import minimise_family
+from repro.core.minimal_rg import CutSetExplosion
 from repro.errors import AnalysisError
 
 __all__ = ["BDD", "compile_graph"]
@@ -49,14 +51,19 @@ class BDD:
     analysis needs, kept small and auditable.
     """
 
-    def __init__(self, variables: list[str]) -> None:
+    def __init__(
+        self, variables: list[str], max_nodes: Optional[int] = None
+    ) -> None:
         if len(set(variables)) != len(variables):
             raise AnalysisError("duplicate variable names")
         self.variables = list(variables)
         self.var_index = {name: i for i, name in enumerate(variables)}
+        self.max_nodes = max_nodes
         self._nodes: list[Optional[_Node]] = [None, None]  # 0 and 1
         self._unique: dict[tuple[int, int, int], int] = {}
         self._apply_cache: dict[tuple[str, int, int], int] = {}
+        self._without_cache: dict[tuple[int, int], int] = {}
+        self._minsol_cache: dict[int, int] = {}
         self.root = ZERO
 
     # ------------------------------------------------------------------ #
@@ -80,6 +87,17 @@ class BDD:
         found = self._unique.get(key)
         if found is not None:
             return found
+        if (
+            self.max_nodes is not None
+            and len(self._nodes) - 2 >= self.max_nodes
+        ):
+            # Same valve semantics as the MOCUS max_groups cap: an
+            # adversarial variable ordering makes the diagram (and
+            # therefore the extraction) exponential; raise instead of
+            # silently building it.
+            raise CutSetExplosion(
+                f"BDD exceeded {self.max_nodes} decision nodes"
+            )
         self._nodes.append(_Node(var, low, high))
         node_id = len(self._nodes) - 1
         self._unique[key] = node_id
@@ -246,33 +264,141 @@ class BDD:
         root_var = self.node(self.root).var
         return walk(self.root) * (1 << root_var)
 
-    def minimal_cut_sets(self) -> list[frozenset[str]]:
-        """Minimal cut sets via Rauzy's recursion (validated in tests
-        against the MOCUS implementation)."""
-        cache: dict[int, list[frozenset[str]]] = {
-            ZERO: [],
-            ONE: [frozenset()],
-        }
+    @contextmanager
+    def _recursion_headroom(self):
+        """Recursion depth here is bounded by the variable count (the
+        ``without`` pair descends at most one level per operand), so big
+        graphs need more stack than CPython's default 1000 frames."""
+        wanted = 4 * len(self.variables) + 200
+        previous = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(previous, wanted))
+        try:
+            yield
+        finally:
+            sys.setrecursionlimit(previous)
 
-        def walk(node_id: int) -> list[frozenset[str]]:
+    def without(self, left: int, right: int) -> int:
+        """The sets of ``left`` not absorbed by any set of ``right``.
+
+        Both operands are read as *cut-set families*: each root-to-ONE
+        path encodes one set, containing exactly the variables taken on
+        high edges.  The result drops every ``left`` set that is a
+        superset of some ``right`` set — Rauzy's ``without`` operator,
+        the workhorse of :meth:`minimal_solutions`.
+        """
+        if left == ZERO or right == ONE:
+            # right == ONE encodes {∅}, which absorbs everything.
+            return ZERO
+        if right == ZERO or left == ONE:
+            return left
+        key = (left, right)
+        cached = self._without_cache.get(key)
+        if cached is not None:
+            return cached
+        l_node, r_node = self.node(left), self.node(right)
+        if l_node.var < r_node.var:
+            # No right set mentions l_node.var, so membership of the
+            # variable never matters for absorption: filter both cofactors.
+            result = self.make(
+                l_node.var,
+                self.without(l_node.low, right),
+                self.without(l_node.high, right),
+            )
+        elif l_node.var > r_node.var:
+            # Left sets cannot contain r_node.var; only the right sets
+            # without it (its low cofactor) can absorb them.
+            result = self.without(left, r_node.low)
+        else:
+            # A left set containing the variable is absorbed by a right
+            # set with it (high side) or without it (low side).
+            high = self.without(l_node.high, r_node.high)
+            high = self.without(high, r_node.low)
+            result = self.make(
+                l_node.var, self.without(l_node.low, r_node.low), high
+            )
+        self._without_cache[key] = result
+        return result
+
+    def minimal_solutions(self) -> int:
+        """Root of the minimal-solutions BDD (Rauzy 1993).
+
+        For the monotone structure functions fault graphs compile to,
+        the returned diagram's ONE-paths (high-edge variables) are
+        exactly the minimal cut sets: a high branch keeps only the sets
+        not already covered with the variable working (:meth:`without`),
+        which is absorption performed on the shared diagram instead of
+        on exploded set families.
+        """
+        cache: dict[int, int] = {}
+
+        def walk(node_id: int) -> int:
+            if self.is_terminal(node_id):
+                return node_id
             cached = cache.get(node_id)
             if cached is not None:
                 return cached
             node = self.node(node_id)
-            name = self.variables[node.var]
-            low_sets = walk(node.low)
-            high_sets = [s | {name} for s in walk(node.high)]
-            result = minimise_family(low_sets + high_sets)
+            low = walk(node.low)
+            high = self.without(walk(node.high), low)
+            result = self.make(node.var, low, high)
             cache[node_id] = result
             return result
 
-        return sorted(
-            walk(self.root), key=lambda s: (len(s), sorted(s))
-        )
+        cached = self._minsol_cache.get(self.root)
+        if cached is None:
+            with self._recursion_headroom():
+                cached = walk(self.root)
+            self._minsol_cache[self.root] = cached
+        return cached
+
+    def minimal_cut_sets(
+        self,
+        max_order: Optional[int] = None,
+        max_groups: Optional[int] = None,
+    ) -> list[frozenset[str]]:
+        """Minimal cut sets via Rauzy's minimal-solutions recursion.
+
+        Enumerates the ONE-paths of :meth:`minimal_solutions`, so every
+        set is produced exactly once and no family-level absorption ever
+        runs — time is O(diagram size + output).  Validated bit-identical
+        to the MOCUS implementation in the tests.
+
+        Args:
+            max_order: Discard cut sets with more than this many events
+                (same truncation semantics as the MOCUS route).
+            max_groups: Raise :class:`CutSetExplosion` when more than
+                this many cut sets would be enumerated.
+        """
+        out: list[frozenset[str]] = []
+        path: list[str] = []
+
+        def enumerate_paths(node_id: int) -> None:
+            if node_id == ZERO:
+                return
+            if node_id == ONE:
+                if max_groups is not None and len(out) >= max_groups:
+                    raise CutSetExplosion(
+                        f"cut-set family exceeded {max_groups} sets"
+                    )
+                out.append(frozenset(path))
+                return
+            node = self.node(node_id)
+            enumerate_paths(node.low)
+            if max_order is None or len(path) < max_order:
+                path.append(self.variables[node.var])
+                enumerate_paths(node.high)
+                path.pop()
+
+        root = self.minimal_solutions()
+        with self._recursion_headroom():
+            enumerate_paths(root)
+        return sorted(out, key=lambda s: (len(s), sorted(s)))
 
 
 def compile_graph(
-    graph: FaultGraph, ordering: Optional[list[str]] = None
+    graph: FaultGraph,
+    ordering: Optional[list[str]] = None,
+    max_nodes: Optional[int] = None,
 ) -> BDD:
     """Compile a fault graph's structure function into a BDD.
 
@@ -281,6 +407,10 @@ def compile_graph(
         ordering: Optional variable ordering (basic-event names); the
             default uses the graph's topological leaf order, which keeps
             related components adjacent and the BDD small.
+        max_nodes: Optional safety valve — raise
+            :class:`~repro.core.minimal_rg.CutSetExplosion` if the
+            diagram (including later extraction work) grows beyond this
+            many decision nodes.
     """
     graph.validate()
     leaves = (
@@ -290,7 +420,7 @@ def compile_graph(
         raise AnalysisError(
             "ordering must contain exactly the graph's basic events"
         )
-    bdd = BDD(leaves)
+    bdd = BDD(leaves, max_nodes=max_nodes)
     node_bdds: dict[str, int] = {}
     for name in graph.topological_order():
         event = graph.event(name)

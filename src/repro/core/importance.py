@@ -93,9 +93,11 @@ def fussell_vesely_importance(
         top_probability = union_probability(
             list(minimal_rgs), probabilities, method="auto"
         )
-    if top_probability <= 0.0:
-        raise AnalysisError("top-event probability is zero; nothing to rank")
     components = sorted({c for rg in minimal_rgs for c in rg})
+    if top_probability <= 0.0:
+        # No system risk means no risk flows through anything: the
+        # measure is defined as 0 everywhere, not a division by zero.
+        return {component: 0.0 for component in components}
     out = {}
     for component in components:
         containing = [rg for rg in minimal_rgs if component in rg]
@@ -110,6 +112,7 @@ def component_importance_ranking(
     graph: FaultGraph,
     minimal_rgs: Optional[Sequence[frozenset[str]]] = None,
     probabilities: Optional[Mapping[str, float]] = None,
+    bdd: Optional[BDD] = None,
 ) -> list[ComponentImportance]:
     """Full per-component importance table, Birnbaum-ranked.
 
@@ -117,6 +120,8 @@ def component_importance_ranking(
         graph: A weighted fault graph.
         minimal_rgs: Pre-computed minimal RGs (computed if omitted).
         probabilities: Per-event weights (from the graph if omitted).
+        bdd: A pre-compiled BDD of ``graph`` (compiled if omitted), so
+            callers that already hold the diagram skip a recompile.
     """
     from repro.core.minimal_rg import minimal_risk_groups  # avoid cycle
 
@@ -126,10 +131,9 @@ def component_importance_ranking(
         if minimal_rgs is not None
         else minimal_risk_groups(graph)
     )
-    bdd = compile_graph(graph)
+    if bdd is None:
+        bdd = compile_graph(graph)
     top_probability = bdd.probability(probs)
-    if top_probability <= 0.0:
-        raise AnalysisError("top-event probability is zero; nothing to rank")
     birnbaum = birnbaum_importance(graph, probs, bdd=bdd)
     fussell = fussell_vesely_importance(
         groups, probs, top_probability=top_probability
@@ -137,12 +141,19 @@ def component_importance_ranking(
     entries = []
     for component in graph.basic_events():
         i_b = birnbaum[component]
+        # Pr(T) == 0 (every weight zero) still has a defined answer:
+        # nothing can have broken the system, so criticality is 0.
+        criticality = (
+            i_b * probs[component] / top_probability
+            if top_probability > 0.0
+            else 0.0
+        )
         entries.append(
             ComponentImportance(
                 component=component,
                 probability=probs[component],
                 birnbaum=i_b,
-                criticality=i_b * probs[component] / top_probability,
+                criticality=criticality,
                 fussell_vesely=fussell.get(component, 0.0),
             )
         )

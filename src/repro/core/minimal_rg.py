@@ -15,6 +15,18 @@ combination step so intermediate families stay small.  The problem is
 NP-hard in general (Valiant 1979), which is exactly why the paper pairs
 this precise algorithm with the cheaper failure-sampling alternative.
 
+:func:`minimal_risk_groups` is the front door for *both* exact routes:
+``method="mocus"`` runs the family-combination traversal above, while
+``method="bdd"`` compiles the graph's structure function into a reduced
+ordered BDD and extracts the cut sets with Rauzy's minimal-solutions
+recursion (:meth:`~repro.core.bdd.BDD.minimal_cut_sets`) — absorption on
+the shared diagram instead of on exploded set families, which is the
+structural fast path on product-heavy graphs.  The default ``"auto"``
+picks the BDD route whenever some gate actually multiplies families
+(any threshold above one) and MOCUS for pure-OR graphs, where the union
+traversal is already linear.  Both routes return bit-identical sorted
+families.
+
 ``max_order`` implements standard fault-tree truncation: cut sets larger
 than the given order are discarded during the traversal.  Truncated results
 are still sound (every returned set is a minimal RG) but may be incomplete.
@@ -32,12 +44,28 @@ from repro.errors import AnalysisError
 
 __all__ = [
     "CutSetExplosion",
+    "DEFAULT_MAX_GROUPS",
+    "node_budget",
     "minimal_risk_groups",
     "minimise_family",
     "is_risk_group",
     "is_minimal_risk_group",
     "unexpected_risk_groups",
 ]
+
+#: Default ``max_groups`` safety valve, shared by every exact-RG caller.
+DEFAULT_MAX_GROUPS = 1_000_000
+
+
+def node_budget(max_groups: Optional[int]) -> Optional[int]:
+    """BDD decision-node cap matching a ``max_groups`` family cap.
+
+    An adversarial variable ordering makes the diagram itself (not just
+    the family) exponential, so every compile on a cut-set path should
+    carry this budget: generous headroom over the family cap, but never
+    unbounded while a cap is set.
+    """
+    return None if max_groups is None else max(10_000, 2 * max_groups)
 
 
 class CutSetExplosion(AnalysisError):
@@ -81,10 +109,36 @@ def minimise_family(
     return kept
 
 
+def _overflow(
+    accumulated: set[frozenset[str]], max_groups: Optional[int], where: str
+) -> set[frozenset[str]]:
+    """Enforce ``max_groups`` *during* accumulation.
+
+    Absorption first: a raw product crossing the cap may still minimise
+    to a small family (shared singletons absorb most unions), so only a
+    family that stays oversized after :func:`minimise_family` raises.
+    Either way the blow-up is caught while accumulating — memory and
+    work stay bounded by the cap, never by the raw product size.  The
+    2x slack keeps the minimise pass amortised: after a shrink below
+    the cap, at least ``max_groups`` further sets arrive before the
+    next pass.
+    """
+    if max_groups is None or len(accumulated) <= 2 * max_groups:
+        return accumulated
+    accumulated = set(minimise_family(accumulated))
+    if len(accumulated) > max_groups:
+        raise CutSetExplosion(
+            f"cut-set family at {where} exceeded {max_groups} sets"
+        )
+    return accumulated
+
+
 def _product(
     left: list[frozenset[str]],
     right: list[frozenset[str]],
     max_order: Optional[int],
+    max_groups: Optional[int] = None,
+    where: str = "product",
 ) -> list[frozenset[str]]:
     """Cartesian combine two families (AND gate), minimising as we go."""
     out: set[frozenset[str]] = set()
@@ -93,14 +147,48 @@ def _product(
             merged = a | b
             if max_order is None or len(merged) <= max_order:
                 out.add(merged)
+                out = _overflow(out, max_groups, where)
     return minimise_family(out)
+
+
+def _pick_method(graph: FaultGraph, root: str) -> str:
+    """``auto`` resolution: BDD wherever some gate multiplies families.
+
+    A gate with threshold 1 (OR, or 1-of-n) only unions its children's
+    families; MOCUS handles those in linear time and skips the BDD
+    compilation overhead.  Any threshold above one forms cartesian
+    products — exactly where the diagram-based absorption wins.
+    """
+    for name in graph.descendants(root) | {root}:
+        if not graph.is_basic(name) and graph.threshold(name) > 1:
+            return "bdd"
+    return "mocus"
+
+
+def _bdd_minimal_risk_groups(
+    graph: FaultGraph,
+    root: str,
+    max_order: Optional[int],
+    max_groups: Optional[int],
+) -> list[frozenset[str]]:
+    """The BDD route: compile and run Rauzy's minimal-solutions extraction."""
+    from repro.core.bdd import compile_graph  # deferred: bdd imports us
+
+    scoped = (
+        graph
+        if graph.has_top and root == graph.top
+        else graph.subgraph(root)
+    )
+    bdd = compile_graph(scoped, max_nodes=node_budget(max_groups))
+    return bdd.minimal_cut_sets(max_order=max_order, max_groups=max_groups)
 
 
 def minimal_risk_groups(
     graph: FaultGraph,
     top: Optional[str] = None,
     max_order: Optional[int] = None,
-    max_groups: Optional[int] = 1_000_000,
+    max_groups: Optional[int] = DEFAULT_MAX_GROUPS,
+    method: str = "auto",
 ) -> list[frozenset[str]]:
     """Compute all minimal risk groups of ``graph``.
 
@@ -111,12 +199,24 @@ def minimal_risk_groups(
             this many events.  ``None`` computes the complete family.
         max_groups: Safety valve; if any intermediate family grows beyond
             this many sets a :class:`CutSetExplosion` is raised.
+        method: ``"mocus"`` (family combination), ``"bdd"`` (compile and
+            extract via Rauzy's minimal-solutions recursion) or ``"auto"``
+            (BDD when any gate threshold exceeds one).  The routes return
+            bit-identical sorted families; only speed differs.
 
     Returns:
         Minimal RGs sorted by (size, lexicographic members) so results are
         deterministic and directly consumable by the ranking step.
     """
+    if method not in ("auto", "bdd", "mocus"):
+        raise AnalysisError(
+            f"method must be auto|bdd|mocus, got {method!r}"
+        )
     root = graph.top if top is None else top
+    if method == "auto":
+        method = _pick_method(graph, root)
+    if method == "bdd":
+        return _bdd_minimal_risk_groups(graph, root, max_order, max_groups)
     families: dict[str, list[frozenset[str]]] = {}
     needed = graph.descendants(root) | {root}
     for name in graph.topological_order():
@@ -136,20 +236,27 @@ def minimal_risk_groups(
         elif gate is GateType.AND:
             family = [frozenset()]
             for child in kids:
-                family = _product(family, families[child], max_order)
+                family = _product(
+                    family, families[child], max_order, max_groups,
+                    where=repr(name),
+                )
                 if max_groups is not None and len(family) > max_groups:
                     raise CutSetExplosion(
                         f"cut-set family at {name!r} exceeded {max_groups} sets"
                     )
         else:  # K_OF_N
             k = graph.threshold(name)
-            merged = []
+            accumulated: set[frozenset[str]] = set()
             for subset in combinations(kids, k):
                 partial = [frozenset()]
                 for child in subset:
-                    partial = _product(partial, families[child], max_order)
-                merged.extend(partial)
-            family = minimise_family(merged)
+                    partial = _product(
+                        partial, families[child], max_order, max_groups,
+                        where=repr(name),
+                    )
+                accumulated.update(partial)
+                accumulated = _overflow(accumulated, max_groups, repr(name))
+            family = minimise_family(accumulated)
         if max_groups is not None and len(family) > max_groups:
             raise CutSetExplosion(
                 f"cut-set family at {name!r} exceeded {max_groups} sets"

@@ -24,13 +24,19 @@ from typing import Optional
 from repro.core.bdd import BDD, compile_graph
 from repro.core.compile import CompiledGraph
 from repro.core.faultgraph import FaultGraph
+from repro.core.minimal_rg import DEFAULT_MAX_GROUPS, node_budget
 
 __all__ = [
     "structural_hash",
     "GraphCache",
+    "DEFAULT_BDD_NODE_BUDGET",
     "default_cache",
     "compile_cached",
 ]
+
+#: Decision-node valve for cached BDD compiles — same derivation as the
+#: uncached exact-RG routes, so the engine path cannot out-grow them.
+DEFAULT_BDD_NODE_BUDGET = node_budget(DEFAULT_MAX_GROUPS)
 
 
 def structural_hash(graph: FaultGraph) -> str:
@@ -71,10 +77,15 @@ class GraphCache:
     built on first demand.
     """
 
-    def __init__(self, maxsize: int = 128) -> None:
+    def __init__(
+        self,
+        maxsize: int = 128,
+        bdd_node_budget: Optional[int] = DEFAULT_BDD_NODE_BUDGET,
+    ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
+        self.bdd_node_budget = bdd_node_budget
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, dict] = OrderedDict()
         self.hits = 0
@@ -107,7 +118,14 @@ class GraphCache:
         return compiled
 
     def compile_bdd(self, graph: FaultGraph) -> BDD:
-        """Return the cached BDD form, compiling on miss."""
+        """Return the cached BDD form, compiling on miss.
+
+        Compilation carries the cache's node budget: an adversarially
+        ordered graph raises
+        :class:`~repro.core.minimal_rg.CutSetExplosion` (before anything
+        is cached) instead of building an exponential diagram — the same
+        valve the uncached exact-RG routes apply.
+        """
         key = structural_hash(graph)
         with self._lock:
             entry = self._entry(key)
@@ -116,7 +134,7 @@ class GraphCache:
                 self.hits += 1
                 return bdd
             self.misses += 1
-        bdd = compile_graph(graph)
+        bdd = compile_graph(graph, max_nodes=self.bdd_node_budget)
         with self._lock:
             self._entry(key).setdefault("bdd", bdd)
         return bdd

@@ -79,6 +79,48 @@ class TestDuplicate:
         with pytest.raises(AnalysisError):
             Duplicate("S1").apply(weighted_graph)
 
+    def test_duplicating_twice_still_validates(self, weighted_graph):
+        """Re-duplicating targets the surviving primary, not the pair."""
+        once = Duplicate("shared-agg").apply(weighted_graph)
+        twice = Duplicate("shared-agg#primary").apply(once)
+        twice.validate()
+        assert "shared-agg#primary#pair" in twice
+        # Killing the whole chain now takes three failures.
+        groups = minimal_risk_groups(twice)
+        assert frozenset(
+            {
+                "shared-agg#primary#primary",
+                "shared-agg#primary#replica",
+                "shared-agg#replica",
+            }
+        ) in groups
+
+    def test_name_collision_raises_cleanly(self):
+        """A graph already holding X#replica must not be silently mislabelled."""
+        from repro import FaultGraph, GateType
+
+        g = FaultGraph()
+        g.add_basic_event("X", probability=0.1)
+        g.add_basic_event("X#replica", probability=0.1)
+        g.add_basic_event("X#primary", probability=0.1)
+        g.add_gate(
+            "top", GateType.OR, ["X", "X#replica", "X#primary"], top=True
+        )
+        with pytest.raises(AnalysisError, match="already"):
+            Duplicate("X").apply(g)
+        # The graph was not touched by the failed attempt.
+        g.validate()
+
+    def test_partial_collision_detected(self):
+        from repro import FaultGraph, GateType
+
+        g = FaultGraph()
+        g.add_basic_event("X", probability=0.1)
+        g.add_basic_event("X#pair", probability=0.1)
+        g.add_gate("top", GateType.OR, ["X", "X#pair"], top=True)
+        with pytest.raises(AnalysisError, match="X#pair"):
+            Duplicate("X").apply(g)
+
 
 class TestEvaluateMitigations:
     def test_ranked_by_resulting_probability(self, weighted_graph):
@@ -107,6 +149,44 @@ class TestEvaluateMitigations:
     def test_empty_mitigations_rejected(self, weighted_graph):
         with pytest.raises(AnalysisError):
             evaluate_mitigations(weighted_graph, [])
+
+    def test_relative_reduction_defined_at_zero_baseline(self):
+        """Pr(before) == 0 yields 0.0, the same convention as the
+        zero-risk importance guards."""
+        from repro.analysis.whatif import MitigationOutcome
+
+        outcome = MitigationOutcome(
+            mitigation=Harden("x", 0.0),
+            probability_before=0.0,
+            probability_after=0.0,
+            unexpected_before=0,
+            unexpected_after=0,
+        )
+        assert outcome.relative_reduction == 0.0
+        assert outcome.absolute_reduction == 0.0
+
+    def test_zero_weighted_graph_evaluates(self, weighted_graph):
+        """End to end with Pr(T) == 0: no division anywhere blows up."""
+        zeroed = weighted_graph.map_probabilities(lambda e: 0.0)
+        (outcome,) = evaluate_mitigations(zeroed, [Duplicate("shared-agg")])
+        assert outcome.probability_before == 0.0
+        assert outcome.relative_reduction == 0.0
+
+    def test_method_parameter_is_result_invariant(self, weighted_graph):
+        mitigations = [Duplicate("shared-agg"), Harden("tor1", 0.01)]
+        reference = evaluate_mitigations(
+            weighted_graph, mitigations, method="mocus"
+        )
+        for method in ("auto", "bdd"):
+            outcomes = evaluate_mitigations(
+                weighted_graph, mitigations, method=method
+            )
+            assert [o.probability_after for o in outcomes] == [
+                o.probability_after for o in reference
+            ]
+            assert [o.unexpected_after for o in outcomes] == [
+                o.unexpected_after for o in reference
+            ]
 
     def test_graph_never_mutated(self, weighted_graph):
         before = weighted_graph.stats()

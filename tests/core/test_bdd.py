@@ -6,7 +6,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import FaultGraph, GateType, minimal_risk_groups
-from repro.core.bdd import BDD, ZERO, compile_graph
+from repro.core.bdd import BDD, ONE, ZERO, compile_graph
+from repro.core.minimal_rg import CutSetExplosion
 from repro.core.probability import top_event_probability
 from repro.errors import AnalysisError
 
@@ -115,6 +116,58 @@ class TestCompileGraph:
 
     def test_size_reported(self, deep_graph):
         assert compile_graph(deep_graph).size() >= 1
+
+
+class TestMinimalSolutions:
+    """Rauzy's minsol/without pair behind ``minimal_cut_sets``."""
+
+    def test_without_terminals(self):
+        bdd = BDD(["a", "b"])
+        a = bdd.literal("a")
+        assert bdd.without(ZERO, a) == ZERO
+        assert bdd.without(a, ZERO) == a
+        assert bdd.without(a, ONE) == ZERO  # {∅} absorbs everything
+        assert bdd.without(ONE, a) == ONE   # ∅ has no strict subset
+
+    def test_without_drops_supersets(self):
+        bdd = BDD(["a", "b"])
+        a = bdd.literal("a")
+        ab = bdd.apply("and", a, bdd.literal("b"))
+        # {a,b} is a superset of {a}: nothing survives.
+        assert bdd.without(ab, a) == ZERO
+        # {a} is not a superset of {a,b}.
+        assert bdd.without(a, ab) == a
+
+    def test_minsol_of_or_is_identity(self):
+        bdd = BDD(["a", "b"])
+        bdd.root = bdd.apply("or", bdd.literal("a"), bdd.literal("b"))
+        assert bdd.minimal_solutions() == bdd.root
+
+    def test_minsol_strips_absorbed_paths(self, figure_4b):
+        # (A1 ∨ A2) ∧ (A2 ∨ A3): the {A1,A2}/{A2,A3} paths must go.
+        bdd = compile_graph(figure_4b)
+        assert bdd.minimal_cut_sets() == [
+            frozenset({"A2"}),
+            frozenset({"A1", "A3"}),
+        ]
+
+    def test_minsol_is_cached(self, deep_graph):
+        bdd = compile_graph(deep_graph)
+        assert bdd.minimal_solutions() == bdd.minimal_solutions()
+
+    def test_max_order_truncation_matches_mocus(self, deep_graph):
+        bdd = compile_graph(deep_graph)
+        for order in (1, 2, 3):
+            assert bdd.minimal_cut_sets(max_order=order) == (
+                minimal_risk_groups(deep_graph, max_order=order, method="mocus")
+            )
+
+    def test_max_groups_cap(self, deep_graph):
+        bdd = compile_graph(deep_graph)
+        full = bdd.minimal_cut_sets()
+        assert bdd.minimal_cut_sets(max_groups=len(full)) == full
+        with pytest.raises(CutSetExplosion):
+            bdd.minimal_cut_sets(max_groups=len(full) - 1)
 
 
 @st.composite

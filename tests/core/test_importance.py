@@ -65,6 +65,21 @@ class TestFussellVesely:
         with pytest.raises(AnalysisError):
             fussell_vesely_importance([], figure_4b_probs)
 
+    def test_zero_top_probability_yields_zero_importance(self):
+        """Pr(T) == 0 must produce defined values, not a ZeroDivisionError."""
+        groups = [frozenset({"a"}), frozenset({"b", "c"})]
+        result = fussell_vesely_importance(
+            groups, {"a": 0.0, "b": 0.0, "c": 0.0}
+        )
+        assert result == {"a": 0.0, "b": 0.0, "c": 0.0}
+
+    def test_explicit_zero_top_probability(self, figure_4b):
+        groups = minimal_risk_groups(figure_4b)
+        result = fussell_vesely_importance(
+            groups, {"A1": 0.1, "A2": 0.2, "A3": 0.3}, top_probability=0.0
+        )
+        assert set(result.values()) == {0.0}
+
 
 class TestRanking:
     def test_sorted_by_birnbaum(self, figure_4b):
@@ -88,3 +103,16 @@ class TestRanking:
     def test_unweighted_graph_rejected(self, figure_4a):
         with pytest.raises(Exception):
             component_importance_ranking(figure_4a)
+
+    def test_all_zero_weights_rank_without_dividing(self, figure_4b):
+        """Criticality scaling with Pr(T) == 0 must come back 0.0."""
+        zeroed = figure_4b.map_probabilities(lambda e: 0.0)
+        ranking = component_importance_ranking(zeroed)
+        assert len(ranking) == 3
+        for entry in ranking:
+            assert entry.criticality == 0.0
+            assert entry.fussell_vesely == 0.0
+            # Birnbaum stays defined: with everything else working, A2
+            # failing still fails the system.
+        assert ranking[0].component == "A2"
+        assert ranking[0].birnbaum == pytest.approx(1.0)

@@ -142,6 +142,121 @@ class TestMinimalRiskGroups:
         assert frozenset({"tor1", "core"}) in groups
 
 
+class TestMethodFrontDoor:
+    def test_routes_agree(self, deep_graph):
+        reference = minimal_risk_groups(deep_graph, method="mocus")
+        assert minimal_risk_groups(deep_graph, method="bdd") == reference
+        assert minimal_risk_groups(deep_graph, method="auto") == reference
+
+    def test_routes_agree_on_subtop(self, deep_graph):
+        reference = minimal_risk_groups(deep_graph, top="S1", method="mocus")
+        assert (
+            minimal_risk_groups(deep_graph, top="S1", method="bdd")
+            == reference
+        )
+
+    def test_auto_picks_mocus_for_pure_or(self):
+        """Pure-OR graphs skip BDD compilation (unions are linear)."""
+        from repro.core.minimal_rg import _pick_method
+
+        g = FaultGraph()
+        for name in "abc":
+            g.add_basic_event(name)
+        g.add_gate("top", GateType.OR, list("abc"), top=True)
+        assert _pick_method(g, "top") == "mocus"
+
+    def test_auto_picks_bdd_for_products(self, deep_graph):
+        from repro.core.minimal_rg import _pick_method
+
+        assert _pick_method(deep_graph, deep_graph.top) == "bdd"
+
+    def test_unknown_method_rejected(self, figure_4a):
+        with pytest.raises(AnalysisError, match="method"):
+            minimal_risk_groups(figure_4a, method="magic")
+
+    def test_bdd_route_honours_max_order(self, deep_graph):
+        reference = minimal_risk_groups(
+            deep_graph, max_order=2, method="mocus"
+        )
+        assert (
+            minimal_risk_groups(deep_graph, max_order=2, method="bdd")
+            == reference
+        )
+
+    def test_bdd_route_honours_max_groups(self):
+        g = FaultGraph()
+        branches = []
+        for i in range(8):
+            left = g.add_basic_event(f"l{i}")
+            right = g.add_basic_event(f"r{i}")
+            branches.append(g.add_gate(f"or{i}", GateType.OR, [left, right]))
+        g.add_gate("top", GateType.AND, branches, top=True)
+        with pytest.raises(CutSetExplosion):
+            minimal_risk_groups(g, max_groups=10, method="bdd")
+
+    def test_adversarial_ordering_raises_not_hangs(self):
+        """AND of ORs with all left leaves declared before all right
+        leaves: the default topological leaf ordering interleaves
+        nothing, so the diagram itself is exponential.  The safety
+        valve must bound compilation, not just the enumerated family."""
+        n = 24
+        g = FaultGraph()
+        lefts = [g.add_basic_event(f"a{i}") for i in range(n)]
+        rights = [g.add_basic_event(f"b{i}") for i in range(n)]
+        branches = [
+            g.add_gate(f"or{i}", GateType.OR, [lefts[i], rights[i]])
+            for i in range(n)
+        ]
+        g.add_gate("top", GateType.AND, branches, top=True)
+        with pytest.raises(CutSetExplosion):
+            minimal_risk_groups(g, max_groups=1000)  # default auto -> bdd
+        with pytest.raises(CutSetExplosion):
+            minimal_risk_groups(g, max_groups=1000, method="mocus")
+
+
+class TestKOfNExplosionGuard:
+    """Regression: the K_OF_N branch must respect ``max_groups`` *during*
+    accumulation — before the fix a hostile k-of-n graph ran the full
+    exponential product sweep before the cap was ever consulted."""
+
+    @staticmethod
+    def hostile_graph(branches: int = 16, fanout: int = 2) -> FaultGraph:
+        """k-of-n over OR gates: C(n,k) subsets, fanout^k products each."""
+        g = FaultGraph()
+        ors = []
+        for i in range(branches):
+            leaves = [
+                g.add_basic_event(f"b{i}-{j}") for j in range(fanout)
+            ]
+            ors.append(g.add_gate(f"or{i}", GateType.OR, leaves))
+        g.add_gate("top", GateType.K_OF_N, ors, k=branches // 2, top=True)
+        return g
+
+    def test_hostile_k_of_n_raises_not_hangs(self):
+        g = self.hostile_graph()
+        # 12870 subsets x 2^8 products = ~3.3M raw sets; the cap must
+        # trip inside the very first subset's accumulation.
+        with pytest.raises(CutSetExplosion):
+            minimal_risk_groups(g, max_groups=50, method="mocus")
+
+    def test_product_cap_trips_inside_and_accumulation(self):
+        g = FaultGraph()
+        branches = []
+        for i in range(10):
+            left = g.add_basic_event(f"l{i}")
+            right = g.add_basic_event(f"r{i}")
+            branches.append(g.add_gate(f"or{i}", GateType.OR, [left, right]))
+        g.add_gate("top", GateType.AND, branches, top=True)
+        with pytest.raises(CutSetExplosion, match="exceeded|product"):
+            minimal_risk_groups(g, max_groups=100, method="mocus")
+
+    def test_roomy_cap_still_succeeds(self):
+        g = self.hostile_graph(branches=4, fanout=2)
+        groups = minimal_risk_groups(g, max_groups=10_000, method="mocus")
+        assert groups == minimal_risk_groups(g, method="bdd")
+        assert all(is_minimal_risk_group(g, rg) for rg in groups)
+
+
 class TestPredicates:
     def test_is_risk_group(self, figure_4a):
         assert is_risk_group(figure_4a, {"A2"})

@@ -1,0 +1,67 @@
+"""Tests for the ``indaas plan`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+DEPDB = (
+    '<src="S1" dst="Internet" route="tor1,agg1,core1"/>\n'
+    '<src="S2" dst="Internet" route="tor2,agg1,core2"/>\n'
+)
+
+
+@pytest.fixture
+def depdb_file(tmp_path):
+    path = tmp_path / "db.txt"
+    path.write_text(DEPDB)
+    return str(path)
+
+
+class TestPlanCommand:
+    def test_text_plan(self, depdb_file, capsys):
+        code = main(
+            ["plan", depdb_file, "--servers", "S1,S2", "--budget", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mitigation plan" in out
+        # The shared aggregation switch is the obvious first fix.
+        assert "device:agg1" in out
+        assert "1." in out
+
+    def test_json_plan(self, depdb_file, capsys):
+        code = main(["plan", depdb_file, "--servers", "S1,S2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"][0]["mitigation"]["component"] == "device:agg1"
+        assert payload["baseline_probability"] > 0
+
+    def test_method_and_top_k(self, depdb_file, capsys):
+        reference = None
+        for method in ("mocus", "bdd", "auto"):
+            code = main(
+                [
+                    "plan",
+                    depdb_file,
+                    "--servers",
+                    "S1,S2",
+                    "--method",
+                    method,
+                    "--top-k",
+                    "3",
+                    "--json",
+                ]
+            )
+            assert code == 0
+            payload = capsys.readouterr().out
+            if reference is None:
+                reference = payload
+            else:
+                assert payload == reference
+
+    def test_missing_servers_rejected(self, depdb_file, capsys):
+        code = main(["plan", depdb_file, "--servers", " , "])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
