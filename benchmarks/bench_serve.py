@@ -1,0 +1,151 @@
+"""The audit service: cached-vs-cold throughput and backpressure latency.
+
+Workload: one ``indaas serve`` instance (in-process ``ServiceThread``),
+a client auditing N distinct seeded deployments over HTTP, twice.  The
+first pass is cold — every request compiles a fault graph and runs the
+sampling auditor.  The second pass repeats the same requests byte-for-
+byte: by the content-addressing contract each is a pure cache hit that
+never touches the admission queue or a worker.
+
+Acceptance (ISSUE 6):
+
+* cached throughput ≥ 3x cold throughput;
+* cached re-audit p99 latency under the gate (the hit path is a dict
+  lookup plus one HTTP round trip — milliseconds, not audit time);
+* an overloaded tenant gets its 429 immediately (bounded latency,
+  never a hang);
+* cached responses are bit-identical to the cold ones.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.agents.transport import ServiceClient
+from repro.api import AuditRequest
+from repro.errors import ServiceError
+from repro.service import JobManager, ServiceThread
+
+PARAMS = {
+    "smoke": {"requests": 10, "rounds": 6_000, "workers": 2},
+    "quick": {"requests": 20, "rounds": 30_000, "workers": 2},
+    "paper": {"requests": 40, "rounds": 100_000, "workers": 4},
+}
+
+MIN_SPEEDUP = 3.0
+P99_GATE_SECONDS = 0.5
+REJECT_GATE_SECONDS = 2.0
+
+DEPDB = "\n".join(
+    f'<src="S{i}" dst="Internet" route="ToR{i % 4},Core{i % 2}"/>'
+    for i in range(1, 9)
+)
+
+
+def make_request(seed: int, rounds: int) -> AuditRequest:
+    return AuditRequest(
+        servers=(f"S{1 + seed % 4}", f"S{5 + seed % 4}"),
+        depdb=DEPDB,
+        algorithm="sampling",
+        rounds=rounds,
+        seed=seed,
+        tenant="bench",
+    )
+
+
+def timed_pass(client: ServiceClient, requests) -> tuple[float, list, list]:
+    """Audit every request; returns (seconds, per-request latencies, bodies)."""
+    latencies, bodies = [], []
+    started = time.perf_counter()
+    for request in requests:
+        t0 = time.perf_counter()
+        report = client.audit(request, timeout=300)
+        latencies.append(time.perf_counter() - t0)
+        bodies.append(report.to_json())
+    return time.perf_counter() - started, latencies, bodies
+
+
+def p99(latencies: list) -> float:
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+def test_cached_reaudit_throughput_and_p99(emit, scale):
+    params = PARAMS[scale]
+    requests = [
+        make_request(seed, params["rounds"])
+        for seed in range(params["requests"])
+    ]
+    handle = ServiceThread(JobManager(workers=params["workers"])).start()
+    try:
+        with ServiceClient(handle.url, timeout=300) as client:
+            cold_seconds, cold_lat, cold_bodies = timed_pass(client, requests)
+            warm_seconds, warm_lat, warm_bodies = timed_pass(client, requests)
+        stats = handle.server.manager.stats()
+    finally:
+        handle.stop(drain=False)
+
+    n = len(requests)
+    cold_rps = n / cold_seconds
+    warm_rps = n / warm_seconds
+    speedup = warm_rps / cold_rps
+    emit.table(
+        f"indaas serve — {n} audits x {params['rounds']} rounds, "
+        f"{params['workers']} workers ({scale})",
+        ["pass", "seconds", "audits/s", "p99 (s)", "speedup"],
+        [
+            ["cold", f"{cold_seconds:.3f}", f"{cold_rps:.1f}",
+             f"{p99(cold_lat):.4f}", "1.0x"],
+            ["cached", f"{warm_seconds:.3f}", f"{warm_rps:.1f}",
+             f"{p99(warm_lat):.4f}", f"{speedup:.1f}x"],
+        ],
+    )
+
+    # Bit-identity: the cache serves exactly the cold bytes.
+    assert warm_bodies == cold_bodies
+    # Every warm request was a submit-time pure hit.
+    assert stats["cache_hits"] >= n
+    assert speedup >= MIN_SPEEDUP, (
+        f"cached throughput only {speedup:.1f}x cold "
+        f"(gate {MIN_SPEEDUP}x)"
+    )
+    assert p99(warm_lat) <= P99_GATE_SECONDS, (
+        f"cached p99 {p99(warm_lat):.3f}s exceeds "
+        f"{P99_GATE_SECONDS}s gate"
+    )
+
+
+def test_overloaded_tenant_rejected_within_bound(emit, scale):
+    params = PARAMS[scale]
+    handle = ServiceThread(
+        JobManager(workers=0, per_tenant_limit=2, total_limit=4)
+    ).start()
+    try:
+        with ServiceClient(handle.url) as client:
+            for seed in (100, 101):
+                client.submit(make_request(seed, params["rounds"]))
+            started = time.perf_counter()
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(make_request(102, params["rounds"]))
+            reject_seconds = time.perf_counter() - started
+    finally:
+        handle.stop(drain=False)
+
+    emit.table(
+        f"backpressure — tenant over its bound ({scale})",
+        ["outcome", "status", "retry-after (s)", "latency (s)"],
+        [[
+            excinfo.value.code,
+            excinfo.value.status,
+            f"{excinfo.value.retry_after:.1f}",
+            f"{reject_seconds:.4f}",
+        ]],
+    )
+    assert excinfo.value.status == 429
+    assert excinfo.value.retry_after > 0
+    assert reject_seconds <= REJECT_GATE_SECONDS, (
+        f"429 took {reject_seconds:.2f}s — overload must fail fast, "
+        "never hang"
+    )

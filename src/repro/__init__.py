@@ -56,11 +56,19 @@ from repro.depdb import (
 from repro.engine import AuditEngine, GraphCache, structural_hash
 from repro.errors import IndaasError
 
+# The stable public API facade.  ``repro.api`` defines the versioned
+# wire schema; the three front doors below are the supported library
+# entry points (``AuditReport`` stays the rich core report class —
+# the canonical serialisable carrier lives at ``repro.api.AuditReport``).
+from repro import api
+from repro.api import AuditRequest, JobStatus, audit, audit_delta, plan
+
 __version__ = "1.0.0"
 
 __all__ = [
     "AuditEngine",
     "AuditReport",
+    "AuditRequest",
     "AuditSpec",
     "ComponentSets",
     "DepDB",
@@ -74,6 +82,7 @@ __all__ = [
     "GraphCache",
     "HardwareDependency",
     "IndaasError",
+    "JobStatus",
     "NetworkDependency",
     "RGAlgorithm",
     "RankedRiskGroup",
@@ -82,11 +91,15 @@ __all__ = [
     "SamplingResult",
     "SoftwareDependency",
     "__version__",
+    "api",
+    "audit",
+    "audit_delta",
     "build_dependency_graph",
     "component_sets_from_graph",
     "compose",
     "independence_score",
     "minimal_risk_groups",
+    "plan",
     "rank_by_probability",
     "rank_by_size",
     "structural_hash",

@@ -1,4 +1,4 @@
-"""Workflow roles: auditing client, auditing agent, dependency data sources."""
+"""Workflow roles: auditing client, agent, data sources, HTTP transport."""
 
 from repro.agents.agent import AuditingAgent
 from repro.agents.client import AuditingClient
@@ -9,6 +9,7 @@ from repro.agents.messages import (
     DependencyDataRequest,
     DependencyDataResponse,
 )
+from repro.agents.transport import RemoteAuditingAgent, ServiceClient
 
 __all__ = [
     "AuditRequest",
@@ -18,4 +19,6 @@ __all__ = [
     "DataSource",
     "DependencyDataRequest",
     "DependencyDataResponse",
+    "RemoteAuditingAgent",
+    "ServiceClient",
 ]

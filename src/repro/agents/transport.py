@@ -1,0 +1,323 @@
+"""HTTP transport: talk to a remote ``indaas serve`` audit service.
+
+:class:`ServiceClient` is the canonical-schema client of the audit
+service — stdlib :mod:`http.client` only, speaking exactly the
+documents :mod:`repro.api` defines.  :class:`RemoteAuditingAgent` lifts
+the Figure-1 agent role onto that transport: it still merges dependency
+data from its local sources (Steps 2–5), but delegates the per-
+deployment audits to a remote service and reassembles the ranked report
+with :func:`repro.api.merge_reports` — bit-identical to what a local
+:class:`~repro.agents.agent.AuditingAgent` would have produced for the
+same seeds, by the determinism contract.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Iterator, Mapping, Optional
+
+from repro import api
+from repro.agents.datasource import DataSource
+from repro.agents.messages import (
+    AuditRequest as AgentAuditRequest,
+    AuditResponse,
+    DependencyDataRequest,
+)
+from repro.depdb.database import DepDB
+from repro.errors import ServiceError, SpecificationError
+
+__all__ = ["ServiceClient", "RemoteAuditingAgent"]
+
+
+class ServiceClient:
+    """Blocking client of one audit service endpoint.
+
+    Args:
+        base_url: Service root, e.g. ``http://127.0.0.1:8130``.
+        timeout: Per-connection socket timeout in seconds.
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise SpecificationError(
+                f"service URL must be http://host[:port], got {base_url!r}"
+            )
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # --------------------------- plumbing ----------------------------- #
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _call(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> tuple[int, Mapping, bytes]:
+        try:
+            conn = self._connection()
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"}
+                if body is not None
+                else {},
+            )
+            response = conn.getresponse()
+            payload = response.read()
+            return response.status, response.headers, payload
+        except (ConnectionError, http.client.HTTPException, OSError) as exc:
+            self.close()
+            raise ServiceError(
+                f"audit service at {self.host}:{self.port} unreachable: "
+                f"{exc}",
+                status=503,
+                code="unreachable",
+            ) from exc
+
+    @staticmethod
+    def _raise_for(status: int, headers: Mapping, payload: bytes) -> None:
+        if 200 <= status < 300:
+            return
+        code, message = "error", payload.decode("utf-8", "replace").strip()
+        try:
+            error = json.loads(payload)["error"]
+            code, message = error["code"], error["message"]
+        except (ValueError, KeyError, TypeError):
+            pass
+        retry_after = None
+        if headers.get("Retry-After"):
+            try:
+                retry_after = float(headers["Retry-After"])
+            except ValueError:
+                pass
+        raise ServiceError(
+            message, status=status, code=code, retry_after=retry_after
+        )
+
+    def _call_json(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> dict:
+        status, headers, payload = self._call(method, path, body)
+        self._raise_for(status, headers, payload)
+        return json.loads(payload)
+
+    # ---------------------------- protocol ---------------------------- #
+
+    def submit(self, request: api.AuditRequest) -> api.JobStatus:
+        """POST one audit request; returns the job's first status."""
+        return api.JobStatus.from_dict(
+            self._call_json(
+                "POST", "/v1/audits", request.to_json().encode("utf-8")
+            )
+        )
+
+    def status(self, job_id: str) -> api.JobStatus:
+        return api.JobStatus.from_dict(
+            self._call_json("GET", f"/v1/jobs/{job_id}")
+        )
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll: float = 0.1,
+    ) -> api.JobStatus:
+        """Poll until the job is terminal; raises on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status.is_terminal:
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status.state} after {timeout}s",
+                    status=504,
+                    code="timeout",
+                )
+            time.sleep(poll)
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Stream a job's canonical events (ends at the terminal one).
+
+        Holds a dedicated connection for the duration of the stream
+        (the chunked response owns it), leaving :attr:`_conn` free for
+        concurrent status calls.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                payload = response.read()
+                self._raise_for(response.status, response.headers, payload)
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def report(
+        self,
+        job_id: Optional[str] = None,
+        key: Optional[str] = None,
+    ) -> api.AuditReport:
+        """Fetch a finished report by job id or by content address."""
+        return api.AuditReport.from_json(self.report_bytes(job_id, key))
+
+    def report_bytes(
+        self,
+        job_id: Optional[str] = None,
+        key: Optional[str] = None,
+    ) -> bytes:
+        if (job_id is None) == (key is None):
+            raise SpecificationError(
+                "pass exactly one of job_id or key"
+            )
+        path = (
+            f"/v1/jobs/{job_id}/report"
+            if job_id is not None
+            else f"/v1/reports/{key}"
+        )
+        status, headers, payload = self._call("GET", path)
+        self._raise_for(status, headers, payload)
+        return payload
+
+    def cancel(self, job_id: str) -> api.JobStatus:
+        return api.JobStatus.from_dict(
+            self._call_json("POST", f"/v1/jobs/{job_id}/cancel", b"")
+        )
+
+    def health(self) -> dict:
+        return self._call_json("GET", "/v1/healthz")
+
+    def audit(
+        self, request: api.AuditRequest, timeout: Optional[float] = None
+    ) -> api.AuditReport:
+        """Submit, wait and fetch: one remote audit, start to finish."""
+        submitted = self.submit(request)
+        status = (
+            submitted
+            if submitted.is_terminal
+            else self.wait(submitted.job_id, timeout=timeout)
+        )
+        if status.state == "done":
+            return self.report(job_id=status.job_id)
+        error = status.error or {}
+        raise ServiceError(
+            error.get("message", f"job ended {status.state}"),
+            status=409,
+            code=error.get("code", f"job-{status.state}"),
+        )
+
+
+class RemoteAuditingAgent:
+    """Figure-1 agent whose SIA audits run on a remote service.
+
+    Merges dependency data from local sources exactly like
+    :class:`~repro.agents.agent.AuditingAgent`, then submits one
+    canonical :class:`~repro.api.AuditRequest` per candidate deployment
+    and merges the returned reports.  PIA stays local-only: shipping
+    raw component sets to a third party would defeat its purpose.
+    """
+
+    def __init__(
+        self,
+        sources: Mapping[str, DataSource],
+        client: ServiceClient,
+        *,
+        sampling_rounds: int = 100_000,
+        top_n: Optional[int] = 5,
+        seed: Optional[int] = 0,
+        timeout: Optional[float] = 120.0,
+    ) -> None:
+        if not sources:
+            raise SpecificationError("agent needs at least one data source")
+        self.sources = dict(sources)
+        self.client = client
+        self.sampling_rounds = sampling_rounds
+        self.top_n = top_n  # §4.1.4 score width; AuditingAgent uses 5
+        self.seed = seed
+        self.timeout = timeout
+
+    def _merged_depdb(self, request: AgentAuditRequest) -> DepDB:
+        merged = DepDB()
+        for source_name in request.data_sources:
+            response = self.sources[source_name].handle(
+                DependencyDataRequest(
+                    source=source_name,
+                    dependency_types=request.dependency_types,
+                    programs=request.programs,
+                )
+            )
+            merged.merge(DepDB.loads(response.payload))
+        return merged
+
+    def handle(self, request: AgentAuditRequest) -> AuditResponse:
+        missing = [s for s in request.data_sources if s not in self.sources]
+        if missing:
+            raise SpecificationError(f"unknown data sources: {missing}")
+        if request.mode != "sia":
+            raise SpecificationError(
+                "RemoteAuditingAgent only handles SIA audits; "
+                "PIA is local-only by design"
+            )
+        depdb_text = self._merged_depdb(request).dumps()
+        reports = []
+        for servers in request.deployments:
+            reports.append(
+                self.client.audit(
+                    api.AuditRequest(
+                        servers=tuple(servers),
+                        depdb=depdb_text,
+                        required=min(request.redundancy, len(servers)),
+                        ranking=request.metric,
+                        rounds=self.sampling_rounds,
+                        top_n=self.top_n,
+                        seed=self.seed,
+                        tenant=request.client,
+                        metadata={"client": request.client},
+                    ),
+                    timeout=self.timeout,
+                )
+            )
+        merged = api.merge_reports(
+            reports,
+            title=f"SIA audit for {request.client}",
+            client=request.client,
+        )
+        return AuditResponse(
+            client=request.client,
+            report_json=merged.to_json(indent=2),
+            mode="sia",
+            notes=(f"{len(reports)} deployments audited remotely",),
+        )

@@ -78,6 +78,11 @@ class MitigationPlan:
 
     def to_dict(self) -> dict:
         """Full-precision JSON form (the worker-invariance witness)."""
+        from repro import api
+
+        return api.envelope("mitigation_plan", self._payload())
+
+    def _payload(self) -> dict:
         return {
             "deployment": self.deployment,
             "baseline_probability": self.baseline_probability,

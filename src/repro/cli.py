@@ -19,6 +19,9 @@ Subcommands mirror the evaluation:
 * ``indaas pia``             — private audit over component-set files
   (batched fast-path protocols; ``--workers`` fans deployments out,
   ``--timings`` prints wall-clock/wire totals)
+* ``indaas serve``           — multi-tenant HTTP audit service (canonical
+  ``repro.api`` schema, bounded per-tenant admission, content-addressed
+  report cache); pair with ``indaas audit --remote URL``
 * ``indaas example``         — Figure 4 worked example
 """
 
@@ -79,12 +82,35 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--rounds", type=int, default=100_000)
     audit.add_argument("--top", type=int, default=10)
     audit.add_argument(
+        "--seed", type=int, default=0,
+        help="sampling seed (part of the report's content address)",
+    )
+    audit.add_argument(
         "--workers", type=int, default=0,
         help=(
             "engine worker processes for sampling audits "
             "(0 = in-process, -1 = all cores; results are identical "
             "for any worker count)"
         ),
+    )
+    audit.add_argument(
+        "--json", action="store_true",
+        help="emit the canonical audit_report JSON instead of text",
+    )
+    audit.add_argument(
+        "--remote", metavar="URL", default=None,
+        help=(
+            "execute on an `indaas serve` service instead of locally "
+            "(same request, bit-identical report)"
+        ),
+    )
+    audit.add_argument(
+        "--tenant", default="default",
+        help="admission-control identity for --remote submissions",
+    )
+    audit.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="seconds to wait for a --remote job (default 300)",
     )
 
     many = sub.add_parser(
@@ -237,6 +263,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings", action="store_true",
         help="append protocol wall-clock and wire-byte totals",
     )
+    pia.add_argument(
+        "--json", action="store_true",
+        help="emit the canonical pia_report JSON instead of text",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the multi-tenant HTTP audit service (POST canonical "
+            "audit_request documents to /v1/audits)"
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default local)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8130,
+        help="TCP port (default 8130; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="audit worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--per-tenant", type=int, default=8, dest="per_tenant",
+        help="queued jobs allowed per tenant before 429 (default 8)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64, dest="queue_limit",
+        help="queued jobs allowed service-wide before 429 (default 64)",
+    )
+    serve.add_argument(
+        "--block-size", type=int, default=4096,
+        help="sampling rounds per block (part of the seeded stream)",
+    )
 
     sub.add_parser("example", help="Figure 4 worked example")
     return parser
@@ -285,31 +346,45 @@ def _run_topology(args: argparse.Namespace) -> int:
 
 
 def _run_audit(args: argparse.Namespace) -> int:
-    from repro.core.audit import SIAAuditor
-    from repro.core.spec import AuditSpec, RGAlgorithm
-    from repro.depdb.database import DepDB
-    from repro.engine import AuditEngine
+    from repro import api
 
     with open(args.depdb, encoding="utf-8") as handle:
-        depdb = DepDB.loads(handle.read())
-    servers = tuple(s.strip() for s in args.servers.split(",") if s.strip())
-    spec = AuditSpec(
-        deployment=" & ".join(servers),
-        servers=servers,
-        algorithm=(
-            RGAlgorithm.MINIMAL
-            if args.algorithm == "minimal"
-            else RGAlgorithm.SAMPLING
-        ),
-        sampling_rounds=args.rounds,
+        depdb_text = handle.read()
+    request = api.AuditRequest(
+        servers=_parse_servers(args.servers),
+        depdb=depdb_text,
+        algorithm=args.algorithm,
+        rounds=args.rounds,
+        seed=args.seed,
+        tenant=args.tenant,
     )
-    engine = AuditEngine(n_workers=args.workers) if args.workers else None
-    audit = SIAAuditor(depdb, engine=engine).audit_deployment(spec)
-    print(f"deployment: {audit.deployment}  (score={audit.score:.4g})")
-    if audit.has_unexpected_risk_groups:
-        print(f"!! {len(audit.unexpected_risk_groups)} unexpected risk groups")
-    for entry in audit.top_risk_groups(args.top):
-        print("  ", entry.describe())
+    if args.remote:
+        from repro.agents.transport import ServiceClient
+
+        with ServiceClient(args.remote) as client:
+            report = client.audit(request, timeout=args.timeout)
+    else:
+        from repro.engine import AuditEngine
+
+        engine = AuditEngine(n_workers=args.workers) if args.workers else None
+        result = api.execute_request(request, engine=engine)
+        report = api.report_for_request(
+            request, result.audit, result.structural_hash
+        )
+    if args.json:
+        print(report.to_json())
+        return 0
+    best = report.best()
+    print(f"deployment: {best['deployment']}  (score={best['score']:.4g})")
+    unexpected = best.get("unexpected_risk_groups") or []
+    if unexpected:
+        print(f"!! {len(unexpected)} unexpected risk groups")
+    for entry in best.get("ranking", [])[: args.top]:
+        events = ", ".join(entry["events"])
+        line = f"   #{entry['rank']} {{{events}}}"
+        if entry.get("probability") is not None:
+            line += f"  p={entry['probability']:.4g}"
+        print(line)
     return 0
 
 
@@ -337,6 +412,7 @@ def _run_audit_many(args: argparse.Namespace) -> int:
 
 def _run_watch(args: argparse.Namespace) -> int:
     import json
+    import signal
 
     from repro.engine.incremental import DeltaAuditEngine, WatchService
 
@@ -349,8 +425,17 @@ def _run_watch(args: argparse.Namespace) -> int:
     )
 
     def emit(entry: dict) -> None:
-        print(json.dumps(entry), flush=True)
+        print(json.dumps(entry, sort_keys=True), flush=True)
 
+    def request_stop(signum, frame) -> None:
+        service.request_stop()
+
+    try:
+        # Graceful shutdown: finish the in-flight iteration, then exit 0.
+        signal.signal(signal.SIGTERM, request_stop)
+        signal.signal(signal.SIGINT, request_stop)
+    except ValueError:
+        pass  # not the main thread (embedded run); signals stay external
     try:
         service.run(iterations=args.iterations, emit=emit)
     except KeyboardInterrupt:  # a service: Ctrl-C is the normal exit
@@ -482,6 +567,9 @@ def _run_pia(args: argparse.Namespace) -> int:
             fast=not args.serial,
         )
     report = auditor.audit(ways=args.ways)
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True))
+        return 0
     print(report.render_text())
     if args.timings:
         mode = "serial" if args.serial else "fast"
@@ -490,6 +578,53 @@ def _run_pia(args: argparse.Namespace) -> int:
             f"{report.total_bytes} wire bytes "
             f"({mode}, workers={args.workers})"
         )
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.engine.incremental import DeltaAuditEngine
+    from repro.service import AuditServer, JobManager
+
+    manager = JobManager(
+        DeltaAuditEngine(block_size=args.block_size),
+        workers=args.workers,
+        per_tenant_limit=args.per_tenant,
+        total_limit=args.queue_limit,
+    )
+    server = AuditServer(manager, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"indaas serve: listening on {server.url} "
+            f"({args.workers} workers)",
+            file=sys.stderr,
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                signal.signal(signum, lambda *_: stop.set())
+        serving = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        print(
+            "indaas serve: draining in-flight jobs",
+            file=sys.stderr,
+            flush=True,
+        )
+        serving.cancel()
+        await server.stop(drain=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # signal raced the handler install
+        pass
     return 0
 
 
@@ -536,6 +671,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_plan(args)
         if args.command == "pia":
             return _run_pia(args)
+        if args.command == "serve":
+            return _run_serve(args)
         return _run_example()
     except IndaasError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -130,13 +130,20 @@ class AuditReport:
         return [a for a in self.audits if not a.has_unexpected_risk_groups]
 
     def to_dict(self) -> dict:
-        return {
-            "title": self.title,
-            "client": self.client,
-            "ranking_method": self.ranking_method.value,
-            "metadata": dict(self.metadata),
-            "deployments": [a.to_dict() for a in self.ranked_deployments()],
-        }
+        from repro import api
+
+        return api.envelope(
+            "audit_report",
+            {
+                "title": self.title,
+                "client": self.client,
+                "ranking_method": self.ranking_method.value,
+                "metadata": dict(self.metadata),
+                "deployments": [
+                    a.to_dict() for a in self.ranked_deployments()
+                ],
+            },
+        )
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)

@@ -31,6 +31,8 @@ from repro.core.sampling import SamplingResult, merge_block_outcomes
 from repro.core.spec import AuditSpec, RGAlgorithm
 from repro.engine.cache import GraphCache
 from repro.engine.parallel import (
+    cancel_scope,
+    check_cancelled,
     map_jobs,
     plan_blocks,
     resolve_workers,
@@ -39,7 +41,13 @@ from repro.engine.parallel import (
 )
 from repro.errors import AnalysisError, SpecificationError
 
-__all__ = ["AuditEngine", "AuditJob", "load_audit_job"]
+__all__ = [
+    "AuditEngine",
+    "AuditJob",
+    "load_audit_job",
+    "cancel_scope",
+    "check_cancelled",
+]
 
 
 @dataclass
@@ -338,6 +346,25 @@ class AuditEngine:
             spec.sampling_rounds,
             sample_probability=spec.sampling_probability,
             seed=spec.seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Canonical-request auditing (the ``repro.api`` hook)
+    # ------------------------------------------------------------------ #
+
+    def audit_request(self, request):
+        """Execute one :class:`repro.api.AuditRequest` on this engine.
+
+        The submission hook the audit service (and any other
+        schema-speaking caller) uses: returns the canonical
+        :class:`repro.api.AuditReport`, bit-identical for any worker
+        count and to every other executor of the same request.
+        """
+        from repro import api
+
+        result = api.execute_request(request, engine=self)
+        return api.report_for_request(
+            request, result.audit, structural_digest=result.structural_hash
         )
 
     # ------------------------------------------------------------------ #

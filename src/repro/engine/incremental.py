@@ -71,7 +71,12 @@ from repro.core.report import AuditReport, DeploymentAudit
 from repro.core.spec import AuditSpec
 from repro.engine.batch import BlockOutcome, run_block
 from repro.engine.cache import GraphCache, structural_hash
-from repro.engine.facade import AuditEngine, AuditJob, load_audit_job
+from repro.engine.facade import (
+    AuditEngine,
+    AuditJob,
+    check_cancelled,
+    load_audit_job,
+)
 from repro.errors import AnalysisError, IndaasError, SpecificationError
 
 __all__ = [
@@ -81,6 +86,7 @@ __all__ = [
     "SpecSetDelta",
     "DeltaAuditReport",
     "DeltaAuditEngine",
+    "LRUCache",
     "WatchService",
     "load_spec_set",
 ]
@@ -221,8 +227,12 @@ def graph_delta(old: FaultGraph, new: FaultGraph) -> GraphDelta:
 # --------------------------------------------------------------------- #
 
 
-class _LRUCache:
-    """Minimal thread-safe LRU map with hit/miss accounting."""
+class LRUCache:
+    """Minimal thread-safe LRU map with hit/miss accounting.
+
+    Shared by the delta engine's block/audit caches and the audit
+    service's content-addressed report store.
+    """
 
     def __init__(self, maxsize: int) -> None:
         if maxsize < 1:
@@ -454,8 +464,8 @@ class DeltaAuditEngine(AuditEngine):
         max_cached_audits: int = 1024,
     ) -> None:
         super().__init__(n_workers=1, block_size=block_size, cache=cache)
-        self._blocks = _LRUCache(max_cached_blocks)
-        self._audits = _LRUCache(max_cached_audits)
+        self._blocks = LRUCache(max_cached_blocks)
+        self._audits = LRUCache(max_cached_audits)
 
     # ------------------------------------------------------------------ #
     # Cached sampling
@@ -508,6 +518,7 @@ class DeltaAuditEngine(AuditEngine):
         outcomes: list[BlockOutcome] = []
         reused = 0
         for block_rounds, block_seed in zip(plan.rounds, plan.seeds):
+            check_cancelled()
             key = (graph_key, params_key, block_rounds, _seed_key(block_seed))
             outcome = self._blocks.get(key)
             if outcome is None:
@@ -553,12 +564,18 @@ class DeltaAuditEngine(AuditEngine):
 
         auditor = SIAAuditor(depdb, weigher=weigher, engine=self)
         graph = auditor.build_graph(spec)
-        audit, _hit = self._audit_built(auditor, graph, spec)
+        audit, _hit = self.audit_built(auditor, graph, spec)
         return audit
 
-    def _audit_built(
+    def audit_built(
         self, auditor, graph: FaultGraph, spec: AuditSpec
     ) -> tuple:
+        """Audit an already-built graph through the result cache.
+
+        Returns ``(audit, hit)`` — the public hook
+        :func:`repro.api.execute_request` uses, so the audit service's
+        repeat executions of one request become result-cache hits.
+        """
         from repro.core.spec import RGAlgorithm
 
         if spec.algorithm is RGAlgorithm.SAMPLING and spec.seed is None:
@@ -600,7 +617,8 @@ class DeltaAuditEngine(AuditEngine):
                 if graphs is not None
                 else auditor.build_graph(job.spec)
             )
-            audit, hit = self._audit_built(auditor, graph, job.spec)
+            check_cancelled()
+            audit, hit = self.audit_built(auditor, graph, job.spec)
             audits.append(audit)
             (reused if hit else recomputed).append(job.spec.deployment)
         return audits, reused, recomputed
@@ -795,6 +813,12 @@ class WatchService:
     an emptied directory) are reported, not fatal — the service keeps
     polling.
 
+    Each emitted line is a canonical ``repro.api`` event (the same field
+    names as the audit server's job event stream): ``kind="event"``,
+    ``event="iteration"`` (or ``"error"``), ``seq``, ``elapsed_seconds``
+    and the iteration payload.  ``iteration`` is kept as a deprecated
+    alias of ``seq`` for pre-schema consumers.
+
     Args:
         directory: Directory of ``audit-many``-style spec files.
         engine: Shared delta engine (a private one is created otherwise).
@@ -804,7 +828,9 @@ class WatchService:
             iteration (the compact stream of ``indaas watch`` turns this
             off — in the warm steady state, serialising the report is
             most of a poll's work).
-        sleep: Injectable sleep function (tests pass a no-op).
+        sleep: Injectable sleep function (tests pass a no-op).  The
+            default sleeps on the stop event, so :meth:`request_stop`
+            interrupts an in-progress interval immediately.
     """
 
     def __init__(
@@ -814,7 +840,7 @@ class WatchService:
         interval: float = 2.0,
         title: str = "indaas watch",
         include_report: bool = True,
-        sleep: Callable[[float], None] = time.sleep,
+        sleep: Optional[Callable[[float], None]] = None,
     ) -> None:
         if interval < 0:
             raise SpecificationError(f"interval must be >= 0, got {interval}")
@@ -828,6 +854,7 @@ class WatchService:
         self.title = title
         self.include_report = include_report
         self.iterations = 0
+        self._stop = threading.Event()
         self._sleep = sleep
         self._previous: Optional[tuple[AuditJob, ...]] = None
         self._previous_graphs: dict = {}
@@ -914,8 +941,24 @@ class WatchService:
             raise SpecificationError("no deployment spec files found")
         return load_spec_set(jobs), stable_graphs
 
+    def request_stop(self) -> None:
+        """Ask :meth:`run` to exit after the current iteration.
+
+        Thread- and signal-safe; with the default sleeper it also wakes
+        a loop that is mid-interval, so shutdown latency is bounded by
+        one poll, not ``interval``.
+        """
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        """Whether :meth:`request_stop` has been called."""
+        return self._stop.is_set()
+
     def run_once(self) -> dict:
-        """Poll the directory once and return the iteration report."""
+        """Poll the directory once and return the iteration event."""
+        from repro import api
+
         self.iterations += 1
         started = time.perf_counter()
         try:
@@ -932,12 +975,14 @@ class WatchService:
             # iteration-level event, not a reason to die; the next poll
             # retries.  (IndaasError covers every domain error here:
             # spec, dependency-data, graph and analysis failures.)
-            return {
-                "iteration": self.iterations,
-                "directory": str(self.directory),
-                "error": str(exc),
-                "elapsed_seconds": time.perf_counter() - started,
-            }
+            return api.job_event(
+                "error",
+                seq=self.iterations,
+                iteration=self.iterations,
+                directory=str(self.directory),
+                error=str(exc),
+                elapsed_seconds=time.perf_counter() - started,
+            )
         self._previous = jobs
         self._previous_graphs = outcome.new_graphs
         # Only now — after the audit of exactly these jobs succeeded —
@@ -947,29 +992,29 @@ class WatchService:
                 entry["job"].spec.deployment
             )
         ranked = outcome.report.ranked_deployments()
-        return {
-            "iteration": self.iterations,
-            "directory": str(self.directory),
-            "deployments": len(jobs),
-            "delta": outcome.delta.to_dict(),
-            "reused": list(outcome.reused),
-            "recomputed": list(outcome.recomputed),
-            "regressions": [
+        return api.job_event(
+            "iteration",
+            seq=self.iterations,
+            iteration=self.iterations,
+            directory=str(self.directory),
+            deployments=len(jobs),
+            delta=outcome.delta.to_dict(),
+            reused=list(outcome.reused),
+            recomputed=list(outcome.recomputed),
+            regressions=[
                 audit.deployment
                 for audit in ranked
                 if audit.has_unexpected_risk_groups
             ],
-            "scores": {
-                audit.deployment: audit.score for audit in ranked
-            },
-            "best": ranked[0].deployment,
-            "elapsed_seconds": outcome.elapsed_seconds,
+            scores={audit.deployment: audit.score for audit in ranked},
+            best=ranked[0].deployment,
+            elapsed_seconds=outcome.elapsed_seconds,
             **(
                 {"report": outcome.report.to_dict()}
                 if self.include_report
                 else {}
             ),
-        }
+        )
 
     def run(
         self,
@@ -980,8 +1025,8 @@ class WatchService:
 
         Args:
             iterations: Stop after this many polls (None = run until
-                interrupted).
-            emit: Callback receiving each iteration's report dict.
+                interrupted or :meth:`request_stop` is called).
+            emit: Callback receiving each iteration's event dict.
         """
         if iterations is not None and iterations < 1:
             raise SpecificationError(
@@ -989,11 +1034,16 @@ class WatchService:
             )
         done = 0
         while iterations is None or done < iterations:
+            if self._stop.is_set():
+                break
             report = self.run_once()
             done += 1
             if emit is not None:
                 emit(report)
             is_last = iterations is not None and done >= iterations
-            if not is_last and self.interval > 0:
-                self._sleep(self.interval)
+            if not is_last and self.interval > 0 and not self._stop.is_set():
+                if self._sleep is not None:
+                    self._sleep(self.interval)
+                else:
+                    self._stop.wait(self.interval)
         return done

@@ -15,7 +15,9 @@ then serves any number of blocks without further graph traffic.
 
 from __future__ import annotations
 
+import contextlib
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -24,7 +26,7 @@ import numpy as np
 
 from repro.engine.batch import BlockOutcome, run_block
 from repro.engine.cache import compile_cached
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, AuditCancelled
 
 __all__ = [
     "BlockPlan",
@@ -32,7 +34,44 @@ __all__ = [
     "resolve_workers",
     "run_plan_serial",
     "run_plan_parallel",
+    "cancel_scope",
+    "check_cancelled",
 ]
+
+
+# --------------------------------------------------------------------- #
+# Cooperative cancellation
+# --------------------------------------------------------------------- #
+
+_CANCEL_STATE = threading.local()
+
+
+@contextlib.contextmanager
+def cancel_scope(event: threading.Event):
+    """Make audits on this thread cancellable via ``event``.
+
+    While the scope is active, the engine's in-process sampling loops
+    call :func:`check_cancelled` at every block boundary; setting
+    ``event`` makes the in-flight audit raise
+    :class:`~repro.errors.AuditCancelled` there instead of running to
+    completion.  Thread-local, so service worker threads sharing one
+    engine cancel only their own job.  Scopes nest; the innermost wins,
+    and cancellation never perturbs results — a cancelled audit returns
+    nothing at all.
+    """
+    previous = getattr(_CANCEL_STATE, "event", None)
+    _CANCEL_STATE.event = event
+    try:
+        yield event
+    finally:
+        _CANCEL_STATE.event = previous
+
+
+def check_cancelled() -> None:
+    """Raise :class:`AuditCancelled` if the active scope is signalled."""
+    event = getattr(_CANCEL_STATE, "event", None)
+    if event is not None and event.is_set():
+        raise AuditCancelled("audit cancelled by submitter")
 
 
 @dataclass(frozen=True)
@@ -93,18 +132,25 @@ def run_plan_serial(
     default_probability: float = 0.5,
     minimise: bool = True,
 ) -> list[BlockOutcome]:
-    """Execute every block of ``plan`` inline, in plan order."""
-    return [
-        run_block(
-            compiled,
-            block_rounds,
-            np.random.default_rng(seed),
-            probabilities=probabilities,
-            default_probability=default_probability,
-            minimise=minimise,
+    """Execute every block of ``plan`` inline, in plan order.
+
+    Checks the thread's :func:`cancel_scope` at each block boundary, so
+    a cancelled service job stops within one block's wall-clock.
+    """
+    outcomes = []
+    for block_rounds, seed in zip(plan.rounds, plan.seeds):
+        check_cancelled()
+        outcomes.append(
+            run_block(
+                compiled,
+                block_rounds,
+                np.random.default_rng(seed),
+                probabilities=probabilities,
+                default_probability=default_probability,
+                minimise=minimise,
+            )
         )
-        for block_rounds, seed in zip(plan.rounds, plan.seeds)
-    ]
+    return outcomes
 
 
 _WORKER_STATE: dict = {}

@@ -50,3 +50,50 @@ class ProtocolError(IndaasError):
 
 class AnalysisError(IndaasError):
     """An auditing analysis cannot be carried out on the given input."""
+
+
+class AuditCancelled(IndaasError):
+    """An in-flight audit was cancelled by its submitter.
+
+    Raised from inside the engine's sampling loop when the enclosing
+    :func:`~repro.engine.facade.cancel_scope` is signalled, so a
+    long-running audit job stops at the next block boundary instead of
+    running to completion for nobody.
+    """
+
+
+class ServiceError(IndaasError):
+    """A request to (or within) the audit service failed.
+
+    Carries enough structure for the HTTP layer to render a canonical
+    error body and for clients to react programmatically:
+
+    Attributes:
+        status: HTTP status code of the failure.
+        code: Stable machine-readable error identifier (kebab-case).
+        retry_after: Seconds after which retrying may succeed, when the
+            failure is load-related (429/503), else ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 500,
+        code: str = "internal",
+        retry_after: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.retry_after = retry_after
+
+
+class Backpressure(ServiceError):
+    """The service's admission control rejected a job submission (429)."""
+
+    def __init__(
+        self, message: str, retry_after: float = 1.0, code: str = "overloaded"
+    ) -> None:
+        super().__init__(
+            message, status=429, code=code, retry_after=retry_after
+        )

@@ -67,6 +67,11 @@ class PIAReport:
         return self.entries[0]
 
     def to_dict(self) -> dict:
+        from repro import api
+
+        return api.envelope("pia_report", self._payload())
+
+    def _payload(self) -> dict:
         return {
             "title": self.title,
             "protocol": self.protocol,

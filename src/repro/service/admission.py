@@ -1,0 +1,192 @@
+"""Admission control for the audit service.
+
+The service never queues unboundedly: every tenant gets a small bounded
+queue, and the queue set as a whole has a global bound.  A submission
+that would exceed either bound is rejected *immediately* with
+:class:`~repro.errors.Backpressure` (HTTP 429 + ``Retry-After``) — the
+INDaaS auditing agent is supposed to be a good citizen of the deployment
+it audits, so shedding load beats hoarding it.
+
+Dequeue order is round-robin across tenants: a tenant that floods its
+own queue delays only itself, never a neighbour with one queued job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+from repro.errors import Backpressure, ServiceError, SpecificationError
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """Bounded, per-tenant fair admission queue.
+
+    Thread-safe.  Producers call :meth:`push` (which either admits or
+    raises :class:`Backpressure`); worker threads block in :meth:`pop`.
+    :meth:`close` wakes every blocked worker; with ``drain=True`` the
+    already-admitted items are still served first.
+
+    Args:
+        per_tenant_limit: Maximum queued (not yet running) jobs per
+            tenant.
+        total_limit: Maximum queued jobs across all tenants.
+    """
+
+    def __init__(
+        self, per_tenant_limit: int = 8, total_limit: int = 64
+    ) -> None:
+        if per_tenant_limit < 1:
+            raise SpecificationError(
+                f"per_tenant_limit must be >= 1, got {per_tenant_limit}"
+            )
+        if total_limit < per_tenant_limit:
+            raise SpecificationError(
+                "total_limit must be >= per_tenant_limit, got "
+                f"{total_limit} < {per_tenant_limit}"
+            )
+        self.per_tenant_limit = per_tenant_limit
+        self.total_limit = total_limit
+        self._queues: dict[str, deque] = {}
+        self._order: deque[str] = deque()  # tenants with queued items
+        self._size = 0
+        self._ready = threading.Condition(threading.Lock())
+        self._closed = False
+        self._draining = False
+
+    def __len__(self) -> int:
+        with self._ready:
+            return self._size
+
+    @property
+    def closed(self) -> bool:
+        with self._ready:
+            return self._closed
+
+    def push(self, tenant: str, item, *, retry_after: float = 1.0) -> int:
+        """Admit ``item`` for ``tenant`` or raise.
+
+        Returns the item's current position in round-robin service order
+        (0 = next to be served).  Raises :class:`Backpressure` when a
+        bound is hit and :class:`ServiceError` (503) once closed.
+        """
+        with self._ready:
+            if self._closed:
+                raise ServiceError(
+                    "service is shutting down",
+                    status=503,
+                    code="shutting-down",
+                    retry_after=retry_after,
+                )
+            queue = self._queues.get(tenant)
+            if queue is not None and len(queue) >= self.per_tenant_limit:
+                raise Backpressure(
+                    f"tenant {tenant!r} already has {len(queue)} queued "
+                    f"jobs (limit {self.per_tenant_limit})",
+                    retry_after=retry_after,
+                    code="tenant-overloaded",
+                )
+            if self._size >= self.total_limit:
+                raise Backpressure(
+                    f"{self._size} jobs queued service-wide "
+                    f"(limit {self.total_limit})",
+                    retry_after=retry_after,
+                    code="overloaded",
+                )
+            if queue is None:
+                queue = self._queues[tenant] = deque()
+            if not queue:
+                self._order.append(tenant)
+            queue.append(item)
+            self._size += 1
+            self._ready.notify()
+            return self._position_locked(item)
+
+    def pop(self, timeout: Optional[float] = None):
+        """Take the next item in round-robin order.
+
+        Blocks until an item is available; returns ``None`` when the
+        queue is closed and (if draining) emptied, or on timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._ready:
+            while self._size == 0:
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._ready.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._ready.wait(remaining):
+                        return None
+            if self._closed and not self._draining:
+                return None
+            tenant = self._order.popleft()
+            queue = self._queues[tenant]
+            item = queue.popleft()
+            self._size -= 1
+            if queue:
+                self._order.append(tenant)  # rotate: fairness across polls
+            else:
+                del self._queues[tenant]
+            return item
+
+    def remove(self, item) -> bool:
+        """Withdraw a queued item (job cancellation); False if not queued."""
+        with self._ready:
+            for tenant, queue in list(self._queues.items()):
+                try:
+                    queue.remove(item)
+                except ValueError:
+                    continue
+                self._size -= 1
+                if not queue:
+                    del self._queues[tenant]
+                    self._order.remove(tenant)
+                return True
+            return False
+
+    def position(self, item) -> Optional[int]:
+        """Round-robin service position of a queued item (0 = next)."""
+        with self._ready:
+            return self._position_locked(item)
+
+    def _position_locked(self, item) -> Optional[int]:
+        position = 0
+        for depth in range(self.per_tenant_limit):
+            advanced = False
+            for tenant in self._order:
+                queue = self._queues[tenant]
+                if depth >= len(queue):
+                    continue
+                advanced = True
+                if queue[depth] is item:
+                    return position
+                position += 1
+            if not advanced:
+                break
+        return None
+
+    def close(self, drain: bool = True) -> list:
+        """Stop admitting; wake all poppers.
+
+        With ``drain=True`` already-queued items are still handed to
+        workers; otherwise they are evicted and returned to the caller
+        (which owns marking them cancelled).
+        """
+        with self._ready:
+            self._closed = True
+            self._draining = drain
+            evicted = []
+            if not drain:
+                for queue in self._queues.values():
+                    evicted.extend(queue)
+                self._queues.clear()
+                self._order.clear()
+                self._size = 0
+            self._ready.notify_all()
+            return evicted

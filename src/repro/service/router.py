@@ -1,0 +1,174 @@
+"""Request routing for the audit service (transport-independent).
+
+The router maps ``(method, path)`` to handlers on a
+:class:`~repro.service.jobs.JobManager` and renders every outcome —
+success or failure — as a canonical :mod:`repro.api` document.  It knows
+nothing about sockets: the asyncio front-end in
+:mod:`repro.service.server` calls :meth:`Router.dispatch` from a worker
+thread and writes whatever :class:`Response` comes back.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro import api
+from repro.errors import IndaasError, ServiceError
+from repro.service.jobs import JobManager
+
+__all__ = ["Response", "Router"]
+
+_JSON = "application/json"
+
+
+@dataclass
+class Response:
+    """One HTTP response, fully decided (headers and body or stream)."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = _JSON
+    headers: tuple = ()
+    stream: Optional[Iterator[bytes]] = None  # chunked JSONL when set
+
+
+def _json_response(status: int, document: dict, **headers) -> Response:
+    return Response(
+        status=status,
+        body=(api.canonical_json(document) + "\n").encode("utf-8"),
+        headers=tuple(headers.items()),
+    )
+
+
+def _error_response(exc: ServiceError) -> Response:
+    headers = {}
+    if exc.retry_after is not None:
+        headers["Retry-After"] = str(max(1, round(exc.retry_after)))
+    return _json_response(
+        exc.status, api.error_body(exc.code, str(exc)), **headers
+    )
+
+
+@dataclass
+class Router:
+    """Route table over one :class:`JobManager`."""
+
+    manager: JobManager
+    routes: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._route("POST", r"/v1/audits", self.submit)
+        self._route("GET", r"/v1/jobs/(?P<job_id>[\w.-]+)", self.job_status)
+        self._route(
+            "GET", r"/v1/jobs/(?P<job_id>[\w.-]+)/events", self.job_events
+        )
+        self._route(
+            "GET", r"/v1/jobs/(?P<job_id>[\w.-]+)/report", self.job_report
+        )
+        self._route(
+            "POST", r"/v1/jobs/(?P<job_id>[\w.-]+)/cancel", self.job_cancel
+        )
+        self._route("GET", r"/v1/reports/(?P<key>[0-9a-f]+)", self.report)
+        self._route("GET", r"/v1/healthz", self.healthz)
+
+    def _route(self, method: str, pattern: str, handler) -> None:
+        self.routes.append((method, re.compile(pattern + r"\Z"), handler))
+
+    def dispatch(self, method: str, path: str, body: bytes) -> Response:
+        """Resolve and run one request; never raises."""
+        try:
+            matched_path = False
+            for route_method, pattern, handler in self.routes:
+                match = pattern.match(path)
+                if match is None:
+                    continue
+                matched_path = True
+                if route_method == method:
+                    return handler(body=body, **match.groupdict())
+            if matched_path:
+                raise ServiceError(
+                    f"method {method} not allowed on {path}",
+                    status=405,
+                    code="method-not-allowed",
+                )
+            raise ServiceError(
+                f"no such endpoint: {path}", status=404, code="not-found"
+            )
+        except ServiceError as exc:
+            return _error_response(exc)
+        except IndaasError as exc:
+            return _json_response(
+                400, api.error_body("bad-request", str(exc))
+            )
+        except Exception as exc:  # noqa: BLE001 — the server must answer
+            return _json_response(
+                500,
+                api.error_body(
+                    "internal", f"{type(exc).__name__}: {exc}"
+                ),
+            )
+
+    # ---------------------------- handlers ---------------------------- #
+
+    def submit(self, body: bytes, **_) -> Response:
+        request = api.AuditRequest.from_json(body.decode("utf-8"))
+        job = self.manager.submit(request)
+        status = self.manager.status(job.id)
+        # A fingerprint cache hit is born done: 200, not 202.
+        code = 200 if status.state == "done" else 202
+        return _json_response(
+            code, status.to_dict(), Location=f"/v1/jobs/{job.id}"
+        )
+
+    def job_status(self, job_id: str, **_) -> Response:
+        return _json_response(200, self.manager.status(job_id).to_dict())
+
+    def job_events(self, job_id: str, **_) -> Response:
+        self.manager.get(job_id)  # 404 before committing to a stream
+        events = self.manager.stream_events(job_id)
+        stream = (
+            (api.canonical_json(event) + "\n").encode("utf-8")
+            for event in events
+        )
+        return Response(
+            status=200, content_type="application/jsonl", stream=stream
+        )
+
+    def job_report(self, job_id: str, **_) -> Response:
+        job = self.manager.get(job_id)
+        status = self.manager.status(job_id)
+        if status.state == "failed":
+            return _json_response(
+                409,
+                api.error_body(
+                    "job-failed",
+                    (job.error or {}).get("message", "audit failed"),
+                    job_id=job_id,
+                ),
+            )
+        if status.state == "cancelled":
+            return _json_response(
+                409, api.error_body("job-cancelled", "job was cancelled",
+                                    job_id=job_id),
+            )
+        if job.report_bytes is None:
+            raise ServiceError(
+                f"job {job_id} is {status.state}; report not ready",
+                status=404,
+                code="not-ready",
+                retry_after=self.manager.retry_after(),
+            )
+        return Response(status=200, body=job.report_bytes)
+
+    def job_cancel(self, job_id: str, body: bytes = b"", **_) -> Response:
+        return _json_response(200, self.manager.cancel(job_id).to_dict())
+
+    def report(self, key: str, **_) -> Response:
+        return Response(status=200, body=self.manager.report_bytes(key))
+
+    def healthz(self, **_) -> Response:
+        return _json_response(
+            200, api.envelope("health", {"status": "ok", **self.manager.stats()})
+        )

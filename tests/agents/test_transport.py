@@ -1,0 +1,190 @@
+"""ServiceClient + RemoteAuditingAgent against a live in-process service."""
+
+import pytest
+
+from repro import api
+from repro.agents import (
+    AuditingAgent,
+    DataSource,
+    RemoteAuditingAgent,
+    ServiceClient,
+)
+from repro.agents.messages import AuditRequest as AgentAuditRequest
+from repro.depdb.database import DepDB
+from repro.errors import ServiceError, SpecificationError
+from repro.service import JobManager, ServiceThread
+
+from tests.service.conftest import DEPDB, make_request
+
+
+@pytest.fixture(scope="module")
+def service():
+    handle = ServiceThread(JobManager(workers=2)).start()
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(service):
+    with ServiceClient(service.url) as remote:
+        yield remote
+
+
+def direct_bytes(request: api.AuditRequest) -> bytes:
+    result = api.execute_request(request)
+    return (
+        api.report_for_request(request, result.audit, result.structural_hash)
+        .to_json()
+        .encode("utf-8")
+    )
+
+
+class TestServiceClient:
+    def test_rejects_non_http_urls(self):
+        with pytest.raises(SpecificationError):
+            ServiceClient("ftp://somewhere")
+        with pytest.raises(SpecificationError):
+            ServiceClient("not a url")
+
+    def test_audit_round_trip_is_bit_identical(self, client):
+        request = make_request(algorithm="sampling", rounds=2000, seed=61)
+        report = client.audit(request, timeout=60)
+        assert report.to_json().encode("utf-8") == direct_bytes(request)
+
+    def test_submit_wait_report_by_hand(self, client):
+        request = make_request(seed=62)
+        submitted = client.submit(request)
+        status = client.wait(submitted.job_id, timeout=60)
+        assert status.state == "done"
+        assert client.report_bytes(job_id=status.job_id) == direct_bytes(
+            request
+        )
+        # And the content-addressed path serves the same bytes.
+        assert client.report_bytes(key=status.report_key) == direct_bytes(
+            request
+        )
+
+    def test_events_stream_ends_at_terminal(self, client):
+        submitted = client.submit(make_request(seed=63))
+        events = list(client.events(submitted.job_id))
+        assert events[0]["event"] == "submitted"
+        assert events[-1]["event"] == "done"
+        assert all(e["kind"] == "event" for e in events)
+
+    def test_repeat_audit_is_cached_server_side(self, client):
+        request = make_request(seed=64)
+        client.audit(request, timeout=60)
+        snapshot = client.submit(request)
+        assert snapshot.state == "done"
+        assert snapshot.cached is True
+
+    def test_server_error_maps_to_service_error(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("job-999999")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "not-found"
+
+    def test_backpressure_surfaces_retry_after(self):
+        handle = ServiceThread(
+            JobManager(workers=0, per_tenant_limit=1, total_limit=2)
+        ).start()
+        try:
+            with ServiceClient(handle.url) as remote:
+                remote.submit(make_request(seed=71, tenant="acme"))
+                with pytest.raises(ServiceError) as excinfo:
+                    remote.submit(make_request(seed=72, tenant="acme"))
+                assert excinfo.value.status == 429
+                assert excinfo.value.code == "tenant-overloaded"
+                assert excinfo.value.retry_after >= 1
+        finally:
+            handle.stop(drain=False)
+
+    def test_unreachable_service_is_503(self):
+        with ServiceClient("http://127.0.0.1:1") as remote:
+            with pytest.raises(ServiceError) as excinfo:
+                remote.health()
+        assert excinfo.value.status == 503
+        assert excinfo.value.code == "unreachable"
+
+    def test_report_bytes_needs_exactly_one_selector(self, client):
+        with pytest.raises(SpecificationError):
+            client.report_bytes()
+        with pytest.raises(SpecificationError):
+            client.report_bytes(job_id="a", key="b")
+
+    def test_cancel_round_trip(self):
+        handle = ServiceThread(JobManager(workers=0)).start()
+        try:
+            with ServiceClient(handle.url) as remote:
+                submitted = remote.submit(make_request(seed=73))
+                assert remote.cancel(submitted.job_id).state == "cancelled"
+        finally:
+            handle.stop(drain=False)
+
+    def test_health(self, client):
+        health = client.health()
+        assert health["kind"] == "health"
+        assert health["status"] == "ok"
+
+
+@pytest.fixture
+def lab_sources():
+    """One pre-collected data source holding the shared-ToR topology."""
+    source = DataSource("lab")
+    source.depdb = DepDB.loads(DEPDB)
+    source._collected = True
+    return {"lab": source}
+
+
+class TestRemoteAuditingAgent:
+    def agent_request(self):
+        return AgentAuditRequest(
+            client="alice",
+            data_sources=("lab",),
+            deployments=(("S1", "S2"), ("S1", "S3"), ("S2", "S3")),
+            dependency_types=("network",),
+        )
+
+    def test_remote_ranking_matches_local_agent(self, client, lab_sources):
+        remote = RemoteAuditingAgent(lab_sources, client, seed=0)
+        local = AuditingAgent(lab_sources, seed=0)
+        remote_report = remote.handle(self.agent_request()).report_dict()
+        local_report = local.handle(self.agent_request()).report_dict()
+        pick = lambda r: [  # noqa: E731
+            (d["deployment"], d["score"]) for d in r["deployments"]
+        ]
+        assert pick(remote_report) == pick(local_report)
+        # S1 & S2 share ToR1/Core1: ranked least independent by both.
+        assert remote_report["deployments"][-1]["deployment"] == "S1 & S2"
+
+    def test_remote_report_is_canonical(self, client, lab_sources):
+        remote = RemoteAuditingAgent(lab_sources, client, seed=0)
+        report = remote.handle(self.agent_request()).report_dict()
+        assert report["kind"] == "audit_report"
+        assert report["schema_version"] == api.SCHEMA_VERSION
+        assert report["metadata"]["merged_from"] == 3
+
+    def test_pia_mode_is_local_only(self, client, lab_sources):
+        remote = RemoteAuditingAgent(lab_sources, client)
+        request = AgentAuditRequest(
+            client="alice",
+            data_sources=("lab",),
+            deployments=(("S1", "S2"),),
+            mode="pia",
+        )
+        with pytest.raises(SpecificationError, match="local-only"):
+            remote.handle(request)
+
+    def test_unknown_sources_rejected(self, client, lab_sources):
+        remote = RemoteAuditingAgent(lab_sources, client)
+        request = AgentAuditRequest(
+            client="alice",
+            data_sources=("ghost",),
+            deployments=(("S1", "S2"),),
+        )
+        with pytest.raises(SpecificationError, match="unknown data sources"):
+            remote.handle(request)
+
+    def test_needs_sources(self, client):
+        with pytest.raises(SpecificationError):
+            RemoteAuditingAgent({}, client)

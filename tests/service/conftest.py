@@ -1,0 +1,22 @@
+"""Shared fixtures for audit-service tests."""
+
+import pytest
+
+from repro import api
+
+DEPDB = (
+    '<src="S1" dst="Internet" route="ToR1,Core1"/>\n'
+    '<src="S2" dst="Internet" route="ToR1,Core1"/>\n'
+    '<src="S3" dst="Internet" route="ToR2,Core2"/>\n'
+)
+
+
+def make_request(**overrides) -> api.AuditRequest:
+    fields = dict(servers=("S1", "S3"), depdb=DEPDB, seed=7)
+    fields.update(overrides)
+    return api.AuditRequest(**fields)
+
+
+@pytest.fixture
+def request_factory():
+    return make_request

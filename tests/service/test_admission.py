@@ -1,0 +1,87 @@
+"""Admission control: bounds, fairness, backpressure, close semantics."""
+
+import pytest
+
+from repro.errors import Backpressure, ServiceError, SpecificationError
+from repro.service import AdmissionQueue
+
+
+class TestBounds:
+    def test_per_tenant_limit_rejects_with_tenant_code(self):
+        queue = AdmissionQueue(per_tenant_limit=2, total_limit=10)
+        queue.push("acme", "a1")
+        queue.push("acme", "a2")
+        with pytest.raises(Backpressure) as excinfo:
+            queue.push("acme", "a3", retry_after=2.5)
+        assert excinfo.value.status == 429
+        assert excinfo.value.code == "tenant-overloaded"
+        assert excinfo.value.retry_after == 2.5
+        # A different tenant is unaffected.
+        queue.push("globex", "g1")
+
+    def test_global_limit_rejects_everyone(self):
+        queue = AdmissionQueue(per_tenant_limit=2, total_limit=3)
+        queue.push("t1", "a")
+        queue.push("t2", "b")
+        queue.push("t3", "c")
+        with pytest.raises(Backpressure) as excinfo:
+            queue.push("t4", "d")
+        assert excinfo.value.code == "overloaded"
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(SpecificationError):
+            AdmissionQueue(per_tenant_limit=0)
+        with pytest.raises(SpecificationError):
+            AdmissionQueue(per_tenant_limit=8, total_limit=4)
+
+
+class TestFairness:
+    def test_round_robin_across_tenants(self):
+        queue = AdmissionQueue(per_tenant_limit=8, total_limit=64)
+        for item in ("n1", "n2", "n3"):
+            queue.push("noisy", item)
+        queue.push("quiet", "q1")
+        order = [queue.pop(timeout=0) for _ in range(4)]
+        # The quiet tenant's single job is served second, not last.
+        assert order == ["n1", "q1", "n2", "n3"]
+
+    def test_position_reflects_service_order(self):
+        queue = AdmissionQueue(per_tenant_limit=8, total_limit=64)
+        queue.push("noisy", "n1")
+        queue.push("noisy", "n2")
+        assert queue.push("quiet", "q1") == 1  # ahead of n2
+        assert queue.position("n2") == 2
+        assert queue.position("missing") is None
+
+    def test_remove_withdraws_queued_item(self):
+        queue = AdmissionQueue(per_tenant_limit=8, total_limit=64)
+        queue.push("t", "a")
+        queue.push("t", "b")
+        assert queue.remove("a") is True
+        assert queue.remove("a") is False
+        assert queue.pop(timeout=0) == "b"
+        assert len(queue) == 0
+
+
+class TestCloseSemantics:
+    def test_pop_timeout_returns_none(self):
+        queue = AdmissionQueue()
+        assert queue.pop(timeout=0) is None
+
+    def test_close_drain_serves_queued_then_none(self):
+        queue = AdmissionQueue()
+        queue.push("t", "a")
+        assert queue.close(drain=True) == []
+        with pytest.raises(ServiceError) as excinfo:
+            queue.push("t", "b")
+        assert excinfo.value.status == 503
+        assert queue.pop(timeout=0) == "a"
+        assert queue.pop(timeout=0) is None
+
+    def test_close_without_drain_evicts(self):
+        queue = AdmissionQueue()
+        queue.push("t", "a")
+        queue.push("u", "b")
+        assert sorted(queue.close(drain=False)) == ["a", "b"]
+        assert queue.pop(timeout=0) is None
+        assert len(queue) == 0

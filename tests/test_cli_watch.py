@@ -51,6 +51,14 @@ def test_watch_emits_one_json_line_per_iteration(watch_dir, capsys):
         for line in capsys.readouterr().out.strip().splitlines()
     ]
     assert [entry["iteration"] for entry in lines] == [1, 2]
+    # Canonical event envelope, shared with the serve job stream
+    # (`iteration` is kept as a deprecated alias of `seq`).
+    for entry in lines:
+        assert entry["kind"] == "event"
+        assert entry["event"] == "iteration"
+        assert entry["seq"] == entry["iteration"]
+        assert "schema_version" in entry
+        assert "elapsed_seconds" in entry
     first, second = lines
     assert set(first["scores"]) == {"db-tier", "web-tier"}
     assert first["regressions"] == ["web-tier"]
@@ -99,6 +107,8 @@ def test_watch_missing_directory_reports_error_lines(tmp_path, capsys):
     )
     entry = json.loads(capsys.readouterr().out.strip())
     assert "error" in entry
+    assert entry["kind"] == "event"
+    assert entry["event"] == "error"
 
 
 def test_watch_parser_defaults():
