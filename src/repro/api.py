@@ -109,7 +109,11 @@ def _check_field(payload: Mapping, key: str, types: tuple, kind: str) -> None:
     if key not in payload:
         return
     value = payload[key]
-    if not isinstance(value, types) or isinstance(value, bool):
+    # Booleans pass isinstance(..., int); reject them unless the field
+    # is actually boolean.
+    if not isinstance(value, types) or (
+        isinstance(value, bool) and bool not in types
+    ):
         raise SpecificationError(
             f"{kind}.{key} must be {_type_name(types)}, "
             f"got {type(value).__name__}"
@@ -127,6 +131,7 @@ _REQUEST_FIELD_TYPES = {
     "top_n": (int, type(None)),
     "max_order": (int, type(None)),
     "seed": (int, type(None)),
+    "adaptive": (bool,),
     "probability": (int, float, type(None)),
     "base": (str, type(None)),
     "tenant": (str,),
@@ -147,6 +152,7 @@ _FINGERPRINT_FIELDS = (
     "top_n",
     "max_order",
     "seed",
+    "adaptive",
     "probability",
 )
 
@@ -170,6 +176,10 @@ class AuditRequest:
         seed: Sampling seed.  ``None`` draws fresh OS entropy — such
             requests are executed but never content-addressed (repeat
             runs would not be bit-identical).
+        adaptive: Stop sampling early once the detection decision is
+            statistically settled; ``rounds`` becomes a budget ceiling.
+            Output-shaping (fingerprinted): an adaptive report is not
+            interchangeable with its exact-rounds counterpart.
         probability: Optional uniform component failure probability.
         base: Optional structural report key of a previously audited
             spec this request is a delta against; the server diffs the
@@ -190,6 +200,7 @@ class AuditRequest:
     top_n: Optional[int] = None
     max_order: Optional[int] = None
     seed: Optional[int] = 0
+    adaptive: bool = False
     probability: Optional[float] = None
     base: Optional[str] = None
     tenant: str = "default"
@@ -254,6 +265,7 @@ class AuditRequest:
             top_n=self.top_n,
             max_order=self.max_order,
             seed=self.seed,
+            adaptive=self.adaptive,
         )
 
     def to_job(self):
@@ -285,6 +297,7 @@ class AuditRequest:
                 "top_n": self.top_n,
                 "max_order": self.max_order,
                 "seed": self.seed,
+                "adaptive": self.adaptive,
                 "probability": self.probability,
                 "base": self.base,
                 "tenant": self.tenant,

@@ -86,11 +86,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="sampling seed (part of the report's content address)",
     )
     audit.add_argument(
+        "--adaptive", action="store_true",
+        help=(
+            "stop sampling early once the failure estimate and risk-"
+            "group discovery stabilise (--rounds becomes a ceiling; "
+            "sampling algorithm only)"
+        ),
+    )
+    audit.add_argument(
         "--workers", type=int, default=0,
         help=(
             "engine worker processes for sampling audits "
-            "(0 = in-process, -1 = all cores; results are identical "
-            "for any worker count)"
+            "(0/1 = in-process, -1 = all cores, other negatives are "
+            "rejected; results are identical for any worker count)"
         ),
     )
     audit.add_argument(
@@ -356,6 +364,7 @@ def _run_audit(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         rounds=args.rounds,
         seed=args.seed,
+        adaptive=args.adaptive,
         tenant=args.tenant,
     )
     if args.remote:

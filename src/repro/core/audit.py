@@ -134,15 +134,24 @@ class SIAAuditor:
                     graph,
                     sample_probability=spec.sampling_probability,
                     seed=spec.seed,
+                    adaptive=spec.adaptive,
                 ).run(spec.sampling_rounds)
             groups = result.risk_groups
             # The note deliberately omits engine/worker details: results
-            # (and therefore reports) are identical for any worker count.
+            # (and therefore reports) are identical for any worker
+            # count.  ``result.rounds`` is the honest executed count —
+            # equal to spec.sampling_rounds in exact mode, possibly
+            # smaller under spec.adaptive.
             notes.append(
-                f"failure sampling: {spec.sampling_rounds} rounds, "
+                f"failure sampling: {result.rounds} rounds, "
                 f"{result.top_failures} top failures, "
                 f"{len(groups)} risk groups"
             )
+            if spec.adaptive and result.rounds < spec.sampling_rounds:
+                notes.append(
+                    f"adaptive early stop: {result.rounds} of "
+                    f"{spec.sampling_rounds} budgeted rounds"
+                )
         if not groups:
             raise AnalysisError(
                 f"no risk groups found for {spec.deployment!r}; "

@@ -18,7 +18,73 @@ import numpy as np
 from repro.core.faultgraph import FaultGraph
 from repro.errors import FaultGraphError
 
-__all__ = ["CompiledGraph"]
+__all__ = ["CompiledGraph", "pack_rounds", "unpack_rounds"]
+
+#: Explicit little-endian uint64, so packed words mean the same bits on
+#: any host: bit ``i`` of word ``j`` is round ``j * 64 + i``.
+_WORD = np.dtype("<u8")
+
+
+def pack_rounds(failures: np.ndarray) -> np.ndarray:
+    """Pack a ``(rounds, n)`` boolean matrix into ``(n, ceil(rounds/64))``
+    uint64 words.
+
+    Row ``k`` of the result carries column ``k`` of ``failures`` as a
+    bitset: bit ``i`` of word ``j`` is round ``j * 64 + i``.  Tail bits
+    past ``rounds`` are zero, so monotone gate evaluation over words
+    never manufactures spurious failing rounds.
+    """
+    failures = np.asarray(failures, dtype=bool)
+    if failures.ndim != 2:
+        raise FaultGraphError(
+            f"expected a (rounds, n) boolean matrix, got {failures.shape}"
+        )
+    packed8 = np.packbits(
+        np.ascontiguousarray(failures.T), axis=1, bitorder="little"
+    )
+    pad = -packed8.shape[1] % 8
+    if pad:
+        packed8 = np.pad(packed8, ((0, 0), (0, pad)))
+    return np.ascontiguousarray(packed8).view(_WORD)
+
+
+def unpack_rounds(words: np.ndarray, rounds: int) -> np.ndarray:
+    """Inverse of :func:`pack_rounds`: ``(n, W)`` words → ``(rounds, n)``
+    booleans."""
+    words = np.ascontiguousarray(words, dtype=_WORD)
+    return (
+        np.unpackbits(words.view(np.uint8), axis=1, bitorder="little")[
+            :, :rounds
+        ]
+        .T.astype(bool)
+    )
+
+
+def _threshold_words(child_words: np.ndarray, threshold: int) -> np.ndarray:
+    """Per-round popcount comparison over packed words: for each bit
+    position, whether at least ``threshold`` of the ``(c, W)`` child rows
+    have that bit set.
+
+    Uses bit-sliced counters: ``planes[p]`` holds bit ``p`` of a per-round
+    ripple-carry counter, so adding each child is a handful of word-wide
+    AND/XOR ops instead of 64 scalar additions.  The final comparison is a
+    bitwise MSB-first ``counter >= threshold`` comparator.
+    """
+    c, width = child_words.shape
+    n_planes = c.bit_length()  # counter holds values up to c
+    planes = np.zeros((n_planes, width), dtype=_WORD)
+    for row in child_words:
+        carry = row.copy()
+        for p in range(n_planes):
+            planes[p], carry = planes[p] ^ carry, planes[p] & carry
+    ge = np.zeros(width, dtype=_WORD)
+    eq = np.full(width, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=_WORD)
+    for p in reversed(range(n_planes)):
+        if (threshold >> p) & 1:
+            eq &= planes[p]
+        else:
+            ge |= eq & planes[p]
+    return ge | eq
 
 
 class CompiledGraph:
@@ -107,6 +173,93 @@ class CompiledGraph:
         if return_all:
             return values
         return values[:, self.top_index]
+
+    # ------------------------------------------------------------------ #
+    # Packed (bit-parallel) evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate_batch_packed(self, packed: np.ndarray) -> np.ndarray:
+        """Evaluate packed basic-event words for every node.
+
+        Args:
+            packed: ``(n_basic, W)`` uint64 words from :func:`pack_rounds`
+                (or :meth:`sample_failures_packed`); bit ``i`` of word
+                ``j`` is round ``j * 64 + i``, rows follow
+                :attr:`basic_names` order.
+
+        Returns:
+            ``(n_nodes, W)`` uint64 node-value words — one bitset row per
+            node, 64 rounds per bitwise gate op.  Logically identical to
+            ``evaluate_batch(return_all=True)`` transposed and packed:
+            OR gates are word-wise ``|`` over children, AND gates ``&``,
+            and k-of-n gates a bit-sliced popcount comparison.
+        """
+        packed = np.ascontiguousarray(packed, dtype=_WORD)
+        if packed.ndim != 2 or packed.shape[0] != self.n_basic:
+            raise FaultGraphError(
+                f"expected shape ({self.n_basic}, W), got {packed.shape}"
+            )
+        width = packed.shape[1]
+        words = np.zeros((self.n_nodes, width), dtype=_WORD)
+        words[self.basic_index] = packed
+        offs = self.child_offsets
+        flat = self.flat_children
+        thresholds = self.thresholds
+        for i in self.gate_order:
+            kids = flat[offs[i]:offs[i + 1]]
+            k = int(thresholds[i])
+            child_words = words[kids]
+            if k <= 1:
+                words[i] = np.bitwise_or.reduce(child_words, axis=0)
+            elif k >= kids.size:
+                words[i] = np.bitwise_and.reduce(child_words, axis=0)
+            else:
+                words[i] = _threshold_words(child_words, k)
+        return words
+
+    def unpack_assignments(
+        self, node_words: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """Unpack selected rounds of a packed node-value matrix.
+
+        Args:
+            node_words: ``(n_nodes, W)`` words from
+                :meth:`evaluate_batch_packed`.
+            rows: Round indices to extract.
+
+        Returns:
+            ``(len(rows), n_nodes)`` boolean matrix, row ``r`` being the
+            full node-value vector of round ``rows[r]`` — the exact shape
+            witness extraction consumes.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        word_index = rows >> 6
+        bit_index = (rows & 63).astype(_WORD)
+        columns = node_words[:, word_index]  # (n_nodes, len(rows))
+        return ((columns >> bit_index[None, :]) & np.uint64(1)).T.astype(bool)
+
+    def sample_failures_packed(
+        self,
+        rounds: int,
+        probabilities: Optional[Sequence[float]],
+        rng: np.random.Generator,
+        default_probability: float = 0.5,
+    ) -> np.ndarray:
+        """Draw a failure matrix directly in packed form.
+
+        Consumes exactly the random stream of :meth:`sample_failures`
+        (the same ``rng.random`` call), so a packed run is bit-identical
+        to a boolean run from the same generator state — including every
+        draw made *after* sampling (witness extraction, minimisation).
+        """
+        return pack_rounds(
+            self.sample_failures(
+                rounds,
+                probabilities,
+                rng,
+                default_probability=default_probability,
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # Single-assignment evaluation

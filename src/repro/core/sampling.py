@@ -20,9 +20,13 @@ sketch, all documented in DESIGN.md:
   defined.  Disable with ``minimise=False`` to get the literal algorithm.
 * **Deterministic block seeding** — every block draws its generator from a
   ``SeedSequence.spawn`` child, so the result of a run is a pure function
-  of ``(graph, parameters, seed)`` and is bit-identical whether the blocks
-  execute inline or across the worker processes of
-  :class:`~repro.engine.AuditEngine`.
+  of ``(graph, parameters, seed, run_index)`` and is bit-identical whether
+  the blocks execute inline or across the worker processes of
+  :class:`~repro.engine.AuditEngine`.  The run index counts ``run()``
+  calls on one sampler instance (recorded in
+  ``SamplingResult.metadata["run_index"]``): repeated calls draw fresh,
+  disjoint streams by design, and the k-th call on a fresh sampler with
+  the same seed always reproduces the same result.
 """
 
 from __future__ import annotations
@@ -37,10 +41,16 @@ from repro.core.compile import CompiledGraph
 from repro.core.faultgraph import FaultGraph
 from repro.core.minimal_rg import minimise_family
 from repro.engine.batch import BlockOutcome
+from repro.engine.adaptive import AdaptiveConfig, AdaptiveStopper
 from repro.engine.parallel import plan_blocks, run_plan_serial
 from repro.errors import AnalysisError
 
 __all__ = ["FailureSampler", "SamplingResult", "merge_block_outcomes"]
+
+# Namespaces the spawn keys of repeat runs away from run 0's plain
+# ``spawn`` children, which keeps run 0 bit-identical to samplers that
+# predate per-run keying (golden figure pins rely on that).
+_RUN_TAG = 0x17DAA5
 
 
 @dataclass
@@ -142,6 +152,16 @@ class FailureSampler:
         compiled: Optional pre-compiled form of ``graph`` (e.g. from an
             engine's :class:`~repro.engine.cache.GraphCache`) to skip
             recompilation.
+        adaptive: Stop early once the top-event estimate and the
+            risk-group discovery curve stabilise (see
+            :mod:`repro.engine.adaptive`).  ``rounds`` becomes a budget
+            ceiling; the result reports the rounds actually executed.
+        adaptive_config: Stopping-rule parameters; implies a default
+            :class:`~repro.engine.adaptive.AdaptiveConfig` when
+            ``adaptive=True`` and left ``None``.
+        packed: Evaluate blocks through the bit-packed uint64 kernel
+            (default).  ``False`` selects the boolean reference path;
+            both produce bit-identical results.
     """
 
     def __init__(
@@ -153,6 +173,9 @@ class FailureSampler:
         seed: Optional[int] = None,
         batch_size: int = 4096,
         compiled: Optional[CompiledGraph] = None,
+        adaptive: bool = False,
+        adaptive_config: Optional[AdaptiveConfig] = None,
+        packed: bool = True,
     ) -> None:
         if not 0.0 < sample_probability < 1.0:
             raise AnalysisError(
@@ -165,25 +188,68 @@ class FailureSampler:
         self.sample_probability = sample_probability
         self.minimise = minimise
         self.batch_size = batch_size
-        self._seed_sequence = np.random.SeedSequence(seed)
+        self.adaptive = adaptive
+        self.adaptive_config = adaptive_config
+        self.packed = packed
+        self._entropy = np.random.SeedSequence(seed).entropy
+        self._run_count = 0
         self._weights: Optional[Sequence[float]] = None
         if use_weights:
             probs = graph.probabilities()
             self._weights = [probs[n] for n in self.compiled.basic_names]
 
+    def _next_run_root(self) -> tuple[np.random.SeedSequence, int]:
+        """Fresh per-run seed root, keyed by an explicit run counter.
+
+        Run 0 uses the plain seed sequence — bit-identical to samplers
+        without per-run keying, so existing golden pins hold.  Run k >= 1
+        namespaces its spawn keys under ``(_RUN_TAG, k)``, giving each
+        repeat call a fresh, disjoint, *reproducible* stream: the k-th
+        run of any sampler with this seed is always the same.
+        """
+        run_index = self._run_count
+        self._run_count += 1
+        if run_index == 0:
+            return np.random.SeedSequence(self._entropy), run_index
+        return (
+            np.random.SeedSequence(
+                self._entropy, spawn_key=(_RUN_TAG, run_index)
+            ),
+            run_index,
+        )
+
     def run(self, rounds: int) -> SamplingResult:
-        """Execute ``rounds`` sampling rounds and aggregate risk groups."""
+        """Execute up to ``rounds`` sampling rounds and aggregate risk groups.
+
+        Exact mode (the default) executes every round.  With
+        ``adaptive=True``, ``rounds`` is a ceiling and the run halts at
+        the first block boundary where the stopping rule is satisfied.
+        """
         if rounds < 1:
             raise AnalysisError(f"rounds must be >= 1, got {rounds}")
         started = time.perf_counter()
-        plan = plan_blocks(rounds, self.batch_size, self._seed_sequence)
+        root, run_index = self._next_run_root()
+        plan = plan_blocks(rounds, self.batch_size, root)
+        stopper = (
+            AdaptiveStopper(self.adaptive_config) if self.adaptive else None
+        )
         outcomes = run_plan_serial(
             self.compiled,
             plan,
             probabilities=self._weights,
             default_probability=self.sample_probability,
             minimise=self.minimise,
+            packed=self.packed,
+            stopper=stopper,
         )
+        metadata = {
+            "blocks": len(outcomes),
+            "planned_blocks": len(plan),
+            "batch_size": self.batch_size,
+            "run_index": run_index,
+        }
+        if stopper is not None:
+            metadata.update(stopper.summary())
         return merge_block_outcomes(
             outcomes,
             minimised=self.minimise,
@@ -191,5 +257,5 @@ class FailureSampler:
                 None if self._weights is not None else self.sample_probability
             ),
             elapsed_seconds=time.perf_counter() - started,
-            metadata={"blocks": len(plan), "batch_size": self.batch_size},
+            metadata=metadata,
         )

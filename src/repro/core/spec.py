@@ -53,6 +53,11 @@ class AuditSpec:
         max_order: Optional cut-set truncation for the minimal algorithm.
         include_host_events: Model whole-server failures as basic events.
         seed: RNG seed for reproducible sampling audits.
+        adaptive: Stop sampling early once the top-event estimate and
+            RG discovery curve stabilise; ``sampling_rounds`` becomes a
+            budget ceiling (see :mod:`repro.engine.adaptive`).  Off by
+            default so exact-rounds results stay reproducible round for
+            round.
     """
 
     deployment: str
@@ -69,6 +74,7 @@ class AuditSpec:
     max_order: Optional[int] = None
     include_host_events: bool = True
     seed: Optional[int] = 0
+    adaptive: bool = False
     metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -136,5 +142,6 @@ class AuditSpec:
             max_order=self.max_order,
             include_host_events=self.include_host_events,
             seed=self.seed,
+            adaptive=self.adaptive,
             metadata=dict(self.metadata),
         )

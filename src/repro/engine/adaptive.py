@@ -1,0 +1,137 @@
+"""Sequential early stopping for Monte-Carlo sampling runs.
+
+The exact-rounds mode executes every planned block; this module adds the
+opt-in ``adaptive=True`` mode that halts a run once the detection
+decision is statistically settled.  Two signals must stabilise, both
+evaluated at block boundaries in *plan order*:
+
+* the top-event failure estimate ``p̂`` — stop only when its normal
+  confidence interval (plus a 1/(2n) continuity correction so a run of
+  all-zero blocks is not declared "settled" instantly) is narrower than
+  ``max(abs_tol, rel_tol * p̂)``;
+* the risk-group discovery curve — stop only after ``patience_blocks``
+  consecutive blocks contributed no new risk group, i.e. the discovery
+  curve has plateaued.
+
+Determinism: the stopper consumes block outcomes strictly in plan order,
+so the number of executed blocks is a pure function of
+``(graph, parameters, seed)`` — never of the worker count or of
+scheduling.  A parallel adaptive run may *compute* a few blocks beyond
+the stopping point (they are discarded, not merged), but the merged
+result is bit-identical to the serial adaptive run.
+
+Adaptive results are **not** comparable to exact-rounds results round
+for round: an early-stopped run reports the rounds it actually executed
+(honest ``SamplingResult.rounds``), which is why exact mode stays the
+default and the golden figure pins never run adaptive.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.engine.batch import BlockOutcome
+from repro.errors import AnalysisError
+
+__all__ = ["AdaptiveConfig", "AdaptiveStopper"]
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Stopping rule parameters for adaptive sampling.
+
+    Attributes:
+        rel_tol: Stop once the CI halfwidth falls below this fraction of
+            the current top-failure estimate.
+        abs_tol: Absolute halfwidth floor — keeps near-zero estimates
+            stoppable where ``rel_tol`` alone would demand ever more
+            rounds.
+        confidence_z: Normal quantile of the interval (2.576 ≈ 99%).
+        min_blocks: Never stop before this many blocks, regardless of
+            how tight the interval looks.
+        patience_blocks: Require this many consecutive blocks without a
+            new risk group before stopping.
+    """
+
+    rel_tol: float = 0.05
+    abs_tol: float = 1e-3
+    confidence_z: float = 2.576
+    min_blocks: int = 4
+    patience_blocks: int = 4
+
+    def __post_init__(self) -> None:
+        if self.rel_tol <= 0 or self.abs_tol <= 0:
+            raise AnalysisError(
+                "adaptive tolerances must be positive, got "
+                f"rel_tol={self.rel_tol}, abs_tol={self.abs_tol}"
+            )
+        if self.confidence_z <= 0:
+            raise AnalysisError(
+                f"confidence_z must be positive, got {self.confidence_z}"
+            )
+        if self.min_blocks < 1 or self.patience_blocks < 1:
+            raise AnalysisError(
+                "min_blocks and patience_blocks must be >= 1, got "
+                f"{self.min_blocks} and {self.patience_blocks}"
+            )
+
+
+class AdaptiveStopper:
+    """Plan-order sequential test over block outcomes.
+
+    Feed every merged-in :class:`BlockOutcome` to :meth:`observe` in
+    plan order; it returns ``True`` once the run may stop.  The stopper
+    only reads outcomes — it never draws randomness — so it cannot
+    perturb the sampled streams.
+    """
+
+    def __init__(self, config: AdaptiveConfig | None = None) -> None:
+        self.config = config or AdaptiveConfig()
+        self.blocks = 0
+        self.rounds = 0
+        self.top_failures = 0
+        self.blocks_since_new_group = 0
+        self._seen_groups: set[frozenset[str]] = set()
+        self.stopped = False
+
+    def observe(self, outcome: BlockOutcome) -> bool:
+        """Account for one block; return ``True`` when the run may stop."""
+        self.blocks += 1
+        self.rounds += outcome.rounds
+        self.top_failures += outcome.top_failures
+        if outcome.groups - self._seen_groups:
+            self._seen_groups |= outcome.groups
+            self.blocks_since_new_group = 0
+        else:
+            self.blocks_since_new_group += 1
+        self.stopped = self._should_stop()
+        return self.stopped
+
+    def _should_stop(self) -> bool:
+        cfg = self.config
+        if self.blocks < cfg.min_blocks:
+            return False
+        if self.blocks_since_new_group < cfg.patience_blocks:
+            return False
+        n = self.rounds
+        p = self.top_failures / n
+        halfwidth = cfg.confidence_z * math.sqrt(p * (1.0 - p) / n) + 0.5 / n
+        return halfwidth <= max(cfg.abs_tol, cfg.rel_tol * p)
+
+    def summary(self) -> dict:
+        """Metadata describing the stopping decision (for results/reports)."""
+        n = self.rounds
+        p = self.top_failures / n if n else 0.0
+        halfwidth = (
+            self.config.confidence_z * math.sqrt(p * (1.0 - p) / n) + 0.5 / n
+            if n
+            else float("inf")
+        )
+        return {
+            "adaptive": True,
+            "stopped_early": self.stopped,
+            "blocks_observed": self.blocks,
+            "ci_halfwidth": halfwidth,
+            "blocks_since_new_group": self.blocks_since_new_group,
+        }

@@ -30,7 +30,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.compile import CompiledGraph
+from repro.core.compile import CompiledGraph, unpack_rounds
 from repro.errors import FaultGraphError
 
 __all__ = [
@@ -193,6 +193,7 @@ def run_block(
     probabilities: Optional[Sequence[float]] = None,
     default_probability: float = 0.5,
     minimise: bool = True,
+    packed: bool = True,
 ) -> BlockOutcome:
     """Sample and post-process one block of rounds.
 
@@ -200,20 +201,41 @@ def run_block(
     :class:`~repro.core.sampling.FailureSampler` runs blocks inline, the
     parallel engine ships them to worker processes; both call exactly
     this function with per-block generators spawned from the run seed.
+
+    ``packed=True`` (the default) evaluates the graph over uint64 round
+    bitsets — 64 rounds per bitwise gate op — and unpacks only the
+    failing rounds for witness extraction.  The packed and boolean paths
+    consume the same random stream and therefore produce bit-identical
+    outcomes; ``packed=False`` keeps the boolean reference path for
+    parity tests and benchmarks.
     """
-    failures = compiled.sample_failures(
-        rounds, probabilities, rng, default_probability=default_probability
-    )
-    values = compiled.evaluate_batch(failures, return_all=True)
-    failing = np.flatnonzero(values[:, compiled.top_index])
+    if packed:
+        words = compiled.sample_failures_packed(
+            rounds, probabilities, rng, default_probability=default_probability
+        )
+        node_words = compiled.evaluate_batch_packed(words)
+        top_row = node_words[compiled.top_index:compiled.top_index + 1]
+        failing = np.flatnonzero(unpack_rounds(top_row, rounds)[:, 0])
+        values_failing = (
+            compiled.unpack_assignments(node_words, failing)
+            if failing.size
+            else None
+        )
+    else:
+        failures = compiled.sample_failures(
+            rounds, probabilities, rng, default_probability=default_probability
+        )
+        values = compiled.evaluate_batch(failures, return_all=True)
+        failing = np.flatnonzero(values[:, compiled.top_index])
+        values_failing = values[failing] if failing.size else None
     outcome = BlockOutcome(rounds=rounds, top_failures=int(failing.size))
     if failing.size == 0:
         return outcome
 
-    raw = failures[failing]
+    raw = values_failing[:, compiled.basic_index]
     # Unique raw failing assignments, fingerprinted for cross-block union.
-    packed = np.packbits(raw, axis=1)
-    unique_packed = np.unique(packed, axis=0)
+    packed_raw = np.packbits(raw, axis=1)
+    unique_packed = np.unique(packed_raw, axis=0)
     outcome.raw_keys = {row.tobytes() for row in unique_packed}
 
     if not minimise:
@@ -223,7 +245,7 @@ def run_block(
         outcome.groups = _rows_to_groups(compiled, unpacked)
         return outcome
 
-    witnesses = extract_witnesses_batch(compiled, values[failing], rng)
+    witnesses = extract_witnesses_batch(compiled, values_failing, rng)
     # Many rounds land on the same witness; minimise each only once
     # (np.unique's lexicographic order keeps RNG consumption deterministic).
     unique_witnesses = _unique_rows(witnesses, compiled.n_basic)

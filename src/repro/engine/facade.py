@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.report import AuditReport, DeploymentAudit
 from repro.core.sampling import SamplingResult, merge_block_outcomes
 from repro.core.spec import AuditSpec, RGAlgorithm
+from repro.engine.adaptive import AdaptiveConfig, AdaptiveStopper
 from repro.engine.cache import GraphCache
 from repro.engine.parallel import (
     cancel_scope,
@@ -249,6 +250,9 @@ class AuditEngine:
         use_weights: bool = False,
         minimise: bool = True,
         seed: Optional[int] = None,
+        adaptive: bool = False,
+        adaptive_config: Optional[AdaptiveConfig] = None,
+        packed: bool = True,
     ) -> SamplingResult:
         """Run a failure-sampling audit of ``graph``.
 
@@ -256,6 +260,14 @@ class AuditEngine:
         with ``batch_size=block_size`` — same blocks, same spawned seeds,
         same merged result — but compiled through the cache and, when the
         engine has workers, executed across processes.
+
+        ``adaptive=True`` turns ``rounds`` into a budget ceiling and
+        stops at the first block boundary where the estimate and the RG
+        discovery curve have stabilised (see
+        :mod:`repro.engine.adaptive`); the stopping point is decided in
+        plan order, so it too is worker-count invariant.  ``packed``
+        selects the uint64 kernel (default) or the boolean reference
+        path — bit-identical either way.
         """
         if rounds < 1:
             raise AnalysisError(f"rounds must be >= 1, got {rounds}")
@@ -275,6 +287,7 @@ class AuditEngine:
             # later call (and the workers) reuse.
             names = self.compile(graph).basic_names
             weights = [probs[n] for n in names]
+        stopper = AdaptiveStopper(adaptive_config) if adaptive else None
         outcomes, execution_metadata = self._run_plan(
             graph,
             plan,
@@ -282,20 +295,26 @@ class AuditEngine:
             default_probability=sample_probability,
             minimise=minimise,
             reusable_stream=seed is not None,
+            packed=packed,
+            stopper=stopper,
         )
+        metadata = {
+            "engine": {
+                "workers": self.n_workers,
+                "blocks": len(outcomes),
+                "planned_blocks": len(plan),
+                "block_size": self.block_size,
+            },
+            **execution_metadata,
+        }
+        if stopper is not None:
+            metadata.update(stopper.summary())
         return merge_block_outcomes(
             outcomes,
             minimised=minimise,
             sample_probability=None if weights is not None else sample_probability,
             elapsed_seconds=time.perf_counter() - started,
-            metadata={
-                "engine": {
-                    "workers": self.n_workers,
-                    "blocks": len(plan),
-                    "block_size": self.block_size,
-                },
-                **execution_metadata,
-            },
+            metadata=metadata,
         )
 
     def _run_plan(
@@ -307,6 +326,8 @@ class AuditEngine:
         default_probability: float,
         minimise: bool,
         reusable_stream: bool = True,
+        packed: bool = True,
+        stopper=None,
     ):
         """Execute a block plan; the single overridable step of ``sample``.
 
@@ -316,6 +337,8 @@ class AuditEngine:
         truth.  ``reusable_stream`` is False when the plan's seeds come
         from fresh OS entropy (``seed=None``) — such blocks can never
         legitimately be served from (or usefully stored in) a cache.
+        ``stopper``, when given, truncates the plan at the adaptive
+        stopping point (observed in plan order on every path).
         Returns ``(outcomes, extra result metadata)``.
         """
         if self.n_workers > 1 and len(plan) > 1:
@@ -328,6 +351,8 @@ class AuditEngine:
                 probabilities=probabilities,
                 default_probability=default_probability,
                 minimise=minimise,
+                packed=packed,
+                stopper=stopper,
             )
         else:
             outcomes = run_plan_serial(
@@ -336,6 +361,8 @@ class AuditEngine:
                 probabilities=probabilities,
                 default_probability=default_probability,
                 minimise=minimise,
+                packed=packed,
+                stopper=stopper,
             )
         return outcomes, {}
 
@@ -346,6 +373,7 @@ class AuditEngine:
             spec.sampling_rounds,
             sample_probability=spec.sampling_probability,
             seed=spec.seed,
+            adaptive=spec.adaptive,
         )
 
     # ------------------------------------------------------------------ #
@@ -439,7 +467,9 @@ class AuditEngine:
         existing = getattr(self, "_delta_engine", None)
         if existing is None:
             existing = DeltaAuditEngine(
-                block_size=self.block_size, cache=self.cache
+                n_workers=self.n_workers,
+                block_size=self.block_size,
+                cache=self.cache,
             )
             self._delta_engine = existing
         return existing

@@ -77,6 +77,7 @@ from repro.engine.facade import (
     check_cancelled,
     load_audit_job,
 )
+from repro.engine.parallel import BlockPlan, run_plan_parallel
 from repro.errors import AnalysisError, IndaasError, SpecificationError
 
 __all__ = [
@@ -443,27 +444,34 @@ class DeltaAuditEngine(AuditEngine):
     """An :class:`AuditEngine` with incremental, content-addressed reuse.
 
     Args:
+        n_workers: Worker processes for computing cache-miss blocks
+            (``None``/``0``/``1`` compute them inline; the cache itself
+            always lives in this process).  As everywhere, the worker
+            count never changes results.
         block_size: Sampling rounds per block (part of the stream
             definition, exactly as for the base engine).
         cache: Optional shared :class:`GraphCache`.
         max_cached_blocks: LRU capacity of the block-outcome cache.
         max_cached_audits: LRU capacity of the deployment-audit cache.
 
-    Sampling and auditing run in-process so repeated calls share the
-    warm caches; results are bit-identical to the base engine (and the
-    serial :class:`~repro.core.sampling.FailureSampler`) for the same
-    seed and block size, whether a block came from the cache or was
-    computed on the spot.
+    Sampling and auditing share this process's warm caches across
+    repeated calls; results are bit-identical to the base engine (and
+    the serial :class:`~repro.core.sampling.FailureSampler`) for the
+    same seed and block size, whether a block came from the cache, was
+    computed inline, or was computed in a worker process.
     """
 
     def __init__(
         self,
+        n_workers: Optional[int] = None,
         block_size: int = 4096,
         cache: Optional[GraphCache] = None,
         max_cached_blocks: int = 8192,
         max_cached_audits: int = 1024,
     ) -> None:
-        super().__init__(n_workers=1, block_size=block_size, cache=cache)
+        super().__init__(
+            n_workers=n_workers, block_size=block_size, cache=cache
+        )
         self._blocks = LRUCache(max_cached_blocks)
         self._audits = LRUCache(max_cached_audits)
 
@@ -480,6 +488,8 @@ class DeltaAuditEngine(AuditEngine):
         default_probability: float,
         minimise: bool,
         reusable_stream: bool = True,
+        packed: bool = True,
+        stopper=None,
     ):
         """Block execution through the outcome cache.
 
@@ -488,9 +498,14 @@ class DeltaAuditEngine(AuditEngine):
         sampling parameters, block rounds, block seed)``; a hit
         substitutes the stored outcome for re-running
         :func:`~repro.engine.batch.run_block` on identical inputs, which
-        is the definition of bit-identical reuse.  Blocks carry
-        independent generators, so skipping some never perturbs the
-        others.
+        is the definition of bit-identical reuse (the packed and boolean
+        kernels produce identical outcomes, so ``packed`` is not part of
+        the key).  Blocks carry independent generators, so skipping some
+        never perturbs the others.
+
+        With workers and no ``stopper``, cache-miss blocks fan out
+        across processes; adaptive runs stay inline so the stopper sees
+        each outcome (cached or computed) in strict plan order.
         """
         if not reusable_stream:
             # Fresh-entropy seeds can never hit again; storing their
@@ -501,26 +516,68 @@ class DeltaAuditEngine(AuditEngine):
                 probabilities=probabilities,
                 default_probability=default_probability,
                 minimise=minimise,
+                packed=packed,
+                stopper=stopper,
             )[0]
             return outcomes, {
                 "incremental": {
                     "blocks_reused": 0,
-                    "blocks_computed": len(plan),
+                    "blocks_computed": len(outcomes),
                 }
             }
-        compiled = self.compile(graph)
         graph_key = structural_hash(graph)
         params_key = (
             None if probabilities is None else tuple(probabilities),
             default_probability,
             minimise,
         )
-        outcomes: list[BlockOutcome] = []
-        reused = 0
-        for block_rounds, block_seed in zip(plan.rounds, plan.seeds):
+        keys = [
+            (graph_key, params_key, block_rounds, _seed_key(block_seed))
+            for block_rounds, block_seed in zip(plan.rounds, plan.seeds)
+        ]
+        cached: list[Optional[BlockOutcome]] = [
+            self._blocks.get(key) for key in keys
+        ]
+        missing = [i for i, outcome in enumerate(cached) if outcome is None]
+        reused = len(plan) - len(missing)
+
+        if stopper is None and self.n_workers > 1 and len(missing) > 1:
+            # Fan the misses out as their own sub-plan; worker-side
+            # run_block calls are identical to the inline ones, so the
+            # cached entries they produce are too.
             check_cancelled()
-            key = (graph_key, params_key, block_rounds, _seed_key(block_seed))
-            outcome = self._blocks.get(key)
+            sub_plan = BlockPlan(
+                rounds=tuple(plan.rounds[i] for i in missing),
+                seeds=tuple(plan.seeds[i] for i in missing),
+            )
+            computed = run_plan_parallel(
+                graph,
+                sub_plan,
+                self.n_workers,
+                probabilities=probabilities,
+                default_probability=default_probability,
+                minimise=minimise,
+                packed=packed,
+            )
+            for i, outcome in zip(missing, computed):
+                self._blocks.put(keys[i], outcome)
+                cached[i] = outcome
+            return list(cached), {
+                "incremental": {
+                    "blocks_reused": reused,
+                    "blocks_computed": len(missing),
+                }
+            }
+
+        compiled = self.compile(graph)
+        outcomes: list[BlockOutcome] = []
+        computed_count = 0
+        reused_count = 0
+        for index, (block_rounds, block_seed) in enumerate(
+            zip(plan.rounds, plan.seeds)
+        ):
+            check_cancelled()
+            outcome = cached[index]
             if outcome is None:
                 outcome = run_block(
                     compiled,
@@ -529,15 +586,19 @@ class DeltaAuditEngine(AuditEngine):
                     probabilities=probabilities,
                     default_probability=default_probability,
                     minimise=minimise,
+                    packed=packed,
                 )
-                self._blocks.put(key, outcome)
+                self._blocks.put(keys[index], outcome)
+                computed_count += 1
             else:
-                reused += 1
+                reused_count += 1
             outcomes.append(outcome)
+            if stopper is not None and stopper.observe(outcome):
+                break
         return outcomes, {
             "incremental": {
-                "blocks_reused": reused,
-                "blocks_computed": len(plan) - reused,
+                "blocks_reused": reused_count,
+                "blocks_computed": computed_count,
             }
         }
 

@@ -19,6 +19,7 @@ import contextlib
 import pickle
 import threading
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -92,9 +93,11 @@ def plan_blocks(
 ) -> BlockPlan:
     """Cut ``rounds`` into blocks of ``block_size`` with spawned seeds.
 
-    ``seed_sequence`` is advanced by one ``spawn`` call, so repeated runs
-    off the same sequence (e.g. calling ``FailureSampler.run`` twice)
-    draw fresh, non-overlapping streams.
+    The plan is a pure function of ``(rounds, block_size)`` and the
+    *state* of ``seed_sequence``; spawning advances that state, so
+    callers wanting repeatable plans must pass a freshly constructed
+    sequence per run (:class:`~repro.core.sampling.FailureSampler`
+    derives one from its seed entropy and an explicit run counter).
     """
     if rounds < 1:
         raise AnalysisError(f"rounds must be >= 1, got {rounds}")
@@ -109,13 +112,25 @@ def plan_blocks(
 
 
 def resolve_workers(n_workers: Optional[int]) -> int:
-    """Normalise a worker request (``None``/0/1 mean inline execution)."""
+    """Normalise a worker request to a concrete worker count.
+
+    The convention, shared by ``FailureSampler``, ``AuditEngine`` and
+    the CLI ``--workers`` flags: ``None``, ``0`` and ``1`` mean inline
+    execution; positive values request that many worker processes;
+    exactly ``-1`` means "all CPUs" (``os.cpu_count()``).  Any other
+    negative value is rejected — it is far more likely a typo than a
+    request.
+    """
     import os
 
     if n_workers is None:
         return 1
-    if n_workers < 0:
+    if n_workers == -1:
         return max(1, os.cpu_count() or 1)
+    if n_workers < 0:
+        raise AnalysisError(
+            f"workers must be >= 0 or exactly -1 (all CPUs), got {n_workers}"
+        )
     return max(1, n_workers)
 
 
@@ -131,25 +146,33 @@ def run_plan_serial(
     probabilities: Optional[Sequence[float]] = None,
     default_probability: float = 0.5,
     minimise: bool = True,
+    packed: bool = True,
+    stopper=None,
 ) -> list[BlockOutcome]:
-    """Execute every block of ``plan`` inline, in plan order.
+    """Execute blocks of ``plan`` inline, in plan order.
 
     Checks the thread's :func:`cancel_scope` at each block boundary, so
-    a cancelled service job stops within one block's wall-clock.
+    a cancelled service job stops within one block's wall-clock.  When a
+    ``stopper`` (:class:`~repro.engine.adaptive.AdaptiveStopper`) is
+    given, each outcome is fed to it in plan order and the loop halts as
+    soon as it signals; the returned prefix of outcomes is what the run
+    merges.
     """
     outcomes = []
     for block_rounds, seed in zip(plan.rounds, plan.seeds):
         check_cancelled()
-        outcomes.append(
-            run_block(
-                compiled,
-                block_rounds,
-                np.random.default_rng(seed),
-                probabilities=probabilities,
-                default_probability=default_probability,
-                minimise=minimise,
-            )
+        outcome = run_block(
+            compiled,
+            block_rounds,
+            np.random.default_rng(seed),
+            probabilities=probabilities,
+            default_probability=default_probability,
+            minimise=minimise,
+            packed=packed,
         )
+        outcomes.append(outcome)
+        if stopper is not None and stopper.observe(outcome):
+            break
     return outcomes
 
 
@@ -157,11 +180,18 @@ _WORKER_STATE: dict = {}
 
 
 def _init_sampling_worker(payload: bytes) -> None:
-    graph, probabilities, default_probability, minimise = pickle.loads(payload)
+    (
+        graph,
+        probabilities,
+        default_probability,
+        minimise,
+        packed,
+    ) = pickle.loads(payload)
     _WORKER_STATE["compiled"] = compile_cached(graph)
     _WORKER_STATE["probabilities"] = probabilities
     _WORKER_STATE["default_probability"] = default_probability
     _WORKER_STATE["minimise"] = minimise
+    _WORKER_STATE["packed"] = packed
 
 
 def _run_block_task(task: tuple[int, np.random.SeedSequence]) -> BlockOutcome:
@@ -173,7 +203,14 @@ def _run_block_task(task: tuple[int, np.random.SeedSequence]) -> BlockOutcome:
         probabilities=_WORKER_STATE["probabilities"],
         default_probability=_WORKER_STATE["default_probability"],
         minimise=_WORKER_STATE["minimise"],
+        packed=_WORKER_STATE["packed"],
     )
+
+
+# How long to wait on the next plan-order future before re-checking the
+# thread's cancel scope.  Bounds cancellation latency for a served job
+# whose blocks run in worker processes.
+_CANCEL_POLL_SECONDS = 0.05
 
 
 def run_plan_parallel(
@@ -184,25 +221,54 @@ def run_plan_parallel(
     probabilities: Optional[Sequence[float]] = None,
     default_probability: float = 0.5,
     minimise: bool = True,
+    packed: bool = True,
+    stopper=None,
 ) -> list[BlockOutcome]:
     """Execute ``plan`` across ``n_workers`` processes.
 
-    Merging is order-insensitive (sums and set unions), but outcomes are
-    still returned in plan order for reproducible bookkeeping.
+    Blocks are submitted as individual futures and collected strictly in
+    plan order, with the thread's :func:`cancel_scope` polled between
+    completions — so cancelling a served job takes effect within roughly
+    one block's wall-clock even on the multi-process path, instead of
+    after the whole plan.  On cancellation (or early stop) the pool is
+    shut down with ``cancel_futures=True``: queued blocks never start,
+    and only the at-most-``n_workers`` in-flight blocks run to
+    completion.
+
+    With a ``stopper``, outcomes are observed in plan order and the
+    returned list is the stopped prefix — bit-identical to what
+    :func:`run_plan_serial` returns for the same plan and stopper
+    config, regardless of worker count (speculatively computed blocks
+    past the stopping point are discarded, not merged).
     """
     payload = pickle.dumps(
-        (graph, probabilities, default_probability, minimise),
+        (graph, probabilities, default_probability, minimise, packed),
         protocol=pickle.HIGHEST_PROTOCOL,
     )
     tasks = list(zip(plan.rounds, plan.seeds))
     workers = min(n_workers, len(tasks))
-    chunksize = max(1, len(tasks) // (workers * 4))
-    with ProcessPoolExecutor(
+    outcomes: list[BlockOutcome] = []
+    pool = ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_sampling_worker,
         initargs=(payload,),
-    ) as pool:
-        return list(pool.map(_run_block_task, tasks, chunksize=chunksize))
+    )
+    try:
+        futures = [pool.submit(_run_block_task, task) for task in tasks]
+        for future in futures:
+            while True:
+                check_cancelled()
+                try:
+                    outcome = future.result(timeout=_CANCEL_POLL_SECONDS)
+                except FuturesTimeoutError:
+                    continue
+                break
+            outcomes.append(outcome)
+            if stopper is not None and stopper.observe(outcome):
+                break
+        return outcomes
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
 
 
 # --------------------------------------------------------------------- #

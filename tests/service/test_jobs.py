@@ -184,6 +184,35 @@ class TestCancellation:
         assert status.state == "cancelled"
         jobs.shutdown()
 
+    def test_cancel_multiworker_job_within_one_block(self):
+        """Regression (ISSUE 7): a job sampling across worker *processes*
+        used to ignore cancellation until the whole plan had run —
+        ``pool.map`` never polled the cancel scope.  The fixed path polls
+        between block completions, so cancelling takes effect within
+        roughly one block's wall-clock (milliseconds here; the bound is a
+        generous CI ceiling, far below the full 200M-round runtime)."""
+        import time
+
+        from repro.engine import AuditEngine
+
+        jobs = JobManager(engine=AuditEngine(n_workers=2), workers=1)
+        job = jobs.submit(
+            make_request(algorithm="sampling", rounds=200_000_000, seed=5)
+        )
+        seen_events = 0
+        for _ in range(200):
+            events, _ = jobs.events_after(job.id, seen_events, timeout=0.1)
+            seen_events += len(events)
+            if any(e["event"] == "started" for e in events):
+                break
+        cancelled_at = time.monotonic()
+        jobs.cancel(job.id)
+        status = jobs.wait(job.id, timeout=60)
+        latency = time.monotonic() - cancelled_at
+        assert status.state == "cancelled"
+        assert latency < 20.0
+        jobs.shutdown()
+
     def test_cancel_terminal_job_is_a_noop(self):
         jobs = manager()
         job = jobs.submit(make_request())

@@ -72,6 +72,51 @@ class TestMain:
             ]
         ) == 0
 
+    def test_audit_adaptive_flag(self, tmp_path, capsys):
+        depdb = tmp_path / "dep.txt"
+        depdb.write_text(
+            '<src="S1" dst="Internet" route="ToR1,Core1"/>\n'
+            '<src="S2" dst="Internet" route="ToR1,Core1"/>\n'
+        )
+        args = build_parser().parse_args(
+            ["audit", str(depdb), "--servers", "S1,S2", "--adaptive"]
+        )
+        assert args.adaptive is True
+        assert main(
+            [
+                "audit",
+                str(depdb),
+                "--servers",
+                "S1,S2",
+                "--algorithm",
+                "sampling",
+                "--rounds",
+                "2000",
+                "--adaptive",
+            ]
+        ) == 0
+        assert "device:ToR1" in capsys.readouterr().out
+
+    def test_audit_rejects_bogus_negative_workers(self, tmp_path, capsys):
+        depdb = tmp_path / "dep.txt"
+        depdb.write_text('<src="S1" dst="Internet" route="ToR1"/>\n')
+        code = main(
+            [
+                "audit",
+                str(depdb),
+                "--servers",
+                "S1",
+                "--algorithm",
+                "sampling",
+                "--rounds",
+                "500",
+                "--workers=-5",
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "exactly -1" in err
+
     def test_error_paths_return_nonzero(self, tmp_path, capsys):
         depdb = tmp_path / "dep.txt"
         depdb.write_text('<src="S1" dst="Internet" route="ToR1"/>\n')
