@@ -2,11 +2,34 @@
 
 :class:`ServiceClient` is the canonical-schema client of the audit
 service — stdlib :mod:`http.client` only, speaking exactly the
-documents :mod:`repro.api` defines.  :class:`RemoteAuditingAgent` lifts
-the Figure-1 agent role onto that transport: it still merges dependency
-data from its local sources (Steps 2–5), but delegates the per-
-deployment audits to a remote service and reassembles the ranked report
-with :func:`repro.api.merge_reports` — bit-identical to what a local
+documents :mod:`repro.api` defines.  It is built to survive the
+failures the service itself is audited against:
+
+* **Retries with capped exponential backoff** and deterministic
+  (seeded) jitter for connection errors and 503s — the same
+  :class:`RetryPolicy` seed always produces the same delay sequence,
+  so a failing run reproduces exactly.
+* **429 handling** honours the server's ``Retry-After`` hint;
+  an unparseable header is annotated on the error and falls back to
+  the default backoff instead of being silently dropped.
+* **Idempotent resubmission**: every ``POST /v1/audits`` carries an
+  ``Idempotency-Key`` (the request :meth:`~repro.api.AuditRequest.
+  fingerprint` when seeded, a one-shot token otherwise), so a retry
+  whose original response was lost re-attaches to the job the first
+  attempt created instead of enqueuing a duplicate.
+* **Long-poll waiting**: :meth:`ServiceClient.wait` blocks on the
+  server's ``events/poll`` endpoint instead of busy-polling job status,
+  with a bounded-interval polling fallback for servers without it.
+* **Typed stream truncation**: a connection dropped mid-way through a
+  chunked JSONL event stream surfaces as a retryable
+  :class:`~repro.errors.ServiceError` with ``code="stream-truncated"``,
+  never a raw ``json.JSONDecodeError``.
+
+:class:`RemoteAuditingAgent` lifts the Figure-1 agent role onto that
+transport: it still merges dependency data from its local sources
+(Steps 2–5), but delegates the per-deployment audits to a remote
+service and reassembles the ranked report with
+:func:`repro.api.merge_reports` — bit-identical to what a local
 :class:`~repro.agents.agent.AuditingAgent` would have produced for the
 same seeds, by the determinism contract.
 """
@@ -15,8 +38,11 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 import urllib.parse
+import uuid
+from dataclasses import dataclass
 from typing import Iterator, Mapping, Optional
 
 from repro import api
@@ -28,21 +54,79 @@ from repro.agents.messages import (
 )
 from repro.depdb.database import DepDB
 from repro.errors import ServiceError, SpecificationError
+from repro.testing.faults import fault_point
 
-__all__ = ["ServiceClient", "RemoteAuditingAgent"]
+__all__ = ["RetryPolicy", "ServiceClient", "RemoteAuditingAgent"]
+
+#: Backoff used when a 429 carries no (or an unparseable) Retry-After.
+_DEFAULT_RETRY_AFTER = 1.0
+
+#: Upper bound on one long-poll request's server-side wait.
+_LONG_POLL_SECONDS = 20.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    Attributes:
+        retries: Retry attempts after the first try (0 disables).
+        backoff: Base delay in seconds; attempt ``k`` waits
+            ``min(cap, backoff * 2**k)`` scaled by jitter.
+        cap: Ceiling on any single delay (also caps ``Retry-After``).
+        jitter: Fractional spread: each delay is multiplied by a value
+            drawn uniformly from ``[1 - jitter, 1 + jitter]``.
+        seed: Seed of the jitter stream.  Two clients with the same
+            policy see the same delays — chaos runs reproduce.
+    """
+
+    retries: int = 4
+    backoff: float = 0.1
+    cap: float = 5.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise SpecificationError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if self.backoff <= 0 or self.cap < self.backoff:
+            raise SpecificationError(
+                "need 0 < backoff <= cap, got "
+                f"backoff={self.backoff}, cap={self.cap}"
+            )
+        if not 0 <= self.jitter < 1:
+            raise SpecificationError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+
+    def delays(self) -> Iterator[float]:
+        """The policy's deterministic delay sequence, one per retry."""
+        rng = random.Random(self.seed)
+        for attempt in range(self.retries):
+            base = min(self.cap, self.backoff * (2.0 ** attempt))
+            yield base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
 
 
 class ServiceClient:
-    """Blocking client of one audit service endpoint.
+    """Blocking, retrying client of one audit service endpoint.
 
     Args:
         base_url: Service root, e.g. ``http://127.0.0.1:8130``.
         timeout: Per-connection socket timeout in seconds.
+        retry: Retry policy for transient failures; ``None`` disables
+            retries entirely (single attempt, original behaviour).
 
     Usable as a context manager; :meth:`close` is idempotent.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = RetryPolicy(),
+    ) -> None:
         parsed = urllib.parse.urlsplit(base_url)
         if parsed.scheme != "http" or not parsed.hostname:
             raise SpecificationError(
@@ -51,7 +135,12 @@ class ServiceClient:
         self.host = parsed.hostname
         self.port = parsed.port or 80
         self.timeout = timeout
+        self.retry = retry
+        self.request_count = 0  # HTTP requests actually sent
+        self.retry_count = 0  # of which were retries
         self._conn: Optional[http.client.HTTPConnection] = None
+        self._delays = list(retry.delays()) if retry is not None else []
+        self._long_poll_supported = True
 
     # --------------------------- plumbing ----------------------------- #
 
@@ -73,19 +162,23 @@ class ServiceClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _call(
-        self, method: str, path: str, body: Optional[bytes] = None
+    def _call_once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Optional[Mapping[str, str]],
     ) -> tuple[int, Mapping, bytes]:
         try:
+            fault_point("transport.request", method=method, path=path)
             conn = self._connection()
-            conn.request(
-                method,
-                path,
-                body=body,
-                headers={"Content-Type": "application/json"}
-                if body is not None
-                else {},
-            )
+            request_headers = dict(headers or {})
+            if body is not None:
+                request_headers.setdefault(
+                    "Content-Type", "application/json"
+                )
+            self.request_count += 1
+            conn.request(method, path, body=body, headers=request_headers)
             response = conn.getresponse()
             payload = response.read()
             return response.status, response.headers, payload
@@ -96,12 +189,67 @@ class ServiceClient:
                 f"{exc}",
                 status=503,
                 code="unreachable",
+                retryable=True,
             ) from exc
 
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Mapping[str, str]] = None,
+        retry_429: bool = True,
+    ) -> tuple[int, Mapping, bytes]:
+        """One logical request, with the policy's retry loop around it.
+
+        Retries connection-level failures and 503s on the backoff
+        schedule; retries 429s after honouring ``Retry-After`` (capped).
+        ``POST`` bodies must be made idempotent by the caller (the
+        submit path attaches an ``Idempotency-Key``) — the loop itself
+        never changes the request.
+        """
+        attempts = len(self._delays) + 1
+        last_error: Optional[ServiceError] = None
+        for attempt in range(attempts):
+            try:
+                status, headers_out, payload = self._call_once(
+                    method, path, body, headers
+                )
+            except ServiceError as exc:
+                last_error = exc
+                if attempt == attempts - 1:
+                    raise
+                self._sleep(self._delays[attempt])
+                self.retry_count += 1
+                continue
+            if status == 503 and attempt < attempts - 1:
+                last_error = self._error_for(status, headers_out, payload)
+                self._sleep(self._delays[attempt])
+                self.retry_count += 1
+                continue
+            if status == 429 and retry_429 and attempt < attempts - 1:
+                error = self._error_for(status, headers_out, payload)
+                last_error = error
+                pause = error.retry_after
+                if pause is None:
+                    pause = self._delays[attempt]
+                cap = self.retry.cap if self.retry is not None else pause
+                self._sleep(min(pause, cap))
+                self.retry_count += 1
+                continue
+            return status, headers_out, payload
+        raise last_error  # pragma: no cover — loop always returns/raises
+
     @staticmethod
-    def _raise_for(status: int, headers: Mapping, payload: bytes) -> None:
-        if 200 <= status < 300:
-            return
+    def _sleep(seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    @classmethod
+    def _error_for(
+        cls, status: int, headers: Mapping, payload: bytes
+    ) -> ServiceError:
+        """Map a non-2xx response to a typed :class:`ServiceError`."""
         code, message = "error", payload.decode("utf-8", "replace").strip()
         try:
             error = json.loads(payload)["error"]
@@ -109,29 +257,60 @@ class ServiceClient:
         except (ValueError, KeyError, TypeError):
             pass
         retry_after = None
-        if headers.get("Retry-After"):
+        raw = headers.get("Retry-After")
+        if raw is not None:
             try:
-                retry_after = float(headers["Retry-After"])
-            except ValueError:
-                pass
-        raise ServiceError(
-            message, status=status, code=code, retry_after=retry_after
+                retry_after = max(0.0, float(raw))
+            except (TypeError, ValueError):
+                # An unparseable hint must not silently disable
+                # backoff: annotate the error and use the default.
+                message += f" (unparseable Retry-After header {raw!r})"
+                retry_after = _DEFAULT_RETRY_AFTER
+        return ServiceError(
+            message,
+            status=status,
+            code=code,
+            retry_after=retry_after,
+            retryable=status in (429, 503),
         )
 
+    @classmethod
+    def _raise_for(cls, status: int, headers: Mapping, payload: bytes) -> None:
+        if 200 <= status < 300:
+            return
+        raise cls._error_for(status, headers, payload)
+
     def _call_json(
-        self, method: str, path: str, body: Optional[bytes] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Mapping[str, str]] = None,
     ) -> dict:
-        status, headers, payload = self._call(method, path, body)
-        self._raise_for(status, headers, payload)
+        status, headers_out, payload = self._call(method, path, body, headers)
+        self._raise_for(status, headers_out, payload)
         return json.loads(payload)
 
     # ---------------------------- protocol ---------------------------- #
 
     def submit(self, request: api.AuditRequest) -> api.JobStatus:
-        """POST one audit request; returns the job's first status."""
+        """POST one audit request; returns the job's first status.
+
+        Idempotent under retries: seeded requests key on their
+        fingerprint (a repeat POST — retried or deliberate — attaches
+        to the existing job); unseeded requests get a one-shot token so
+        only the retry loop deduplicates, never two deliberate submits.
+        """
+        if request.seed is not None:
+            key = request.fingerprint()
+        else:
+            key = f"once-{uuid.uuid4().hex}"
         return api.JobStatus.from_dict(
             self._call_json(
-                "POST", "/v1/audits", request.to_json().encode("utf-8")
+                "POST",
+                "/v1/audits",
+                request.to_json().encode("utf-8"),
+                headers={"Idempotency-Key": key},
             )
         )
 
@@ -140,25 +319,90 @@ class ServiceClient:
             self._call_json("GET", f"/v1/jobs/{job_id}")
         )
 
+    def events_after(
+        self, job_id: str, after: int = 0, wait: float = 0.0
+    ) -> tuple[list, bool]:
+        """Long-poll the job's events past sequence number ``after``.
+
+        Blocks server-side up to ``wait`` seconds for news; returns
+        ``(events, terminal)``.
+        """
+        query = urllib.parse.urlencode(
+            {"after": after, "wait": f"{max(0.0, wait):.3f}"}
+        )
+        document = self._call_json(
+            "GET", f"/v1/jobs/{job_id}/events/poll?{query}"
+        )
+        events = document.get("events")
+        terminal = document.get("terminal")
+        if not isinstance(events, list) or not isinstance(terminal, bool):
+            raise ServiceError(
+                "malformed job_events document from server",
+                status=502,
+                code="bad-events-document",
+            )
+        return events, terminal
+
     def wait(
         self,
         job_id: str,
         timeout: Optional[float] = None,
         poll: float = 0.1,
     ) -> api.JobStatus:
-        """Poll until the job is terminal; raises on timeout."""
+        """Block until the job is terminal; raises on timeout.
+
+        Long-polls the server's ``events/poll`` endpoint — one
+        outstanding HTTP request per ~:data:`_LONG_POLL_SECONDS` of
+        waiting, not one per ``poll`` interval.  Servers without the
+        endpoint (404/405) get a bounded polling fallback whose
+        interval starts at ``poll`` and doubles to a 1 s ceiling.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
+        after = 0
+        while self._long_poll_supported:
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                break
+            chunk = _LONG_POLL_SECONDS
+            if remaining is not None:
+                chunk = min(chunk, remaining)
+            try:
+                events, terminal = self.events_after(
+                    job_id, after=after, wait=chunk
+                )
+            except ServiceError as exc:
+                if exc.status in (404, 405) and exc.code in (
+                    "not-found",
+                    "method-not-allowed",
+                ):
+                    self._long_poll_supported = False
+                    break
+                raise
+            if events:
+                after = events[-1].get("seq", after + len(events))
+            if terminal:
+                return self.status(job_id)
+        return self._wait_polling(job_id, deadline, poll)
+
+    def _wait_polling(
+        self, job_id: str, deadline: Optional[float], poll: float
+    ) -> api.JobStatus:
+        """Bounded-interval status polling (fallback / deadline path)."""
+        interval = max(0.01, poll)
         while True:
             status = self.status(job_id)
             if status.is_terminal:
                 return status
             if deadline is not None and time.monotonic() >= deadline:
                 raise ServiceError(
-                    f"job {job_id} still {status.state} after {timeout}s",
+                    f"job {job_id} still {status.state} after its deadline",
                     status=504,
                     code="timeout",
                 )
-            time.sleep(poll)
+            self._sleep(interval)
+            interval = min(1.0, interval * 2)
 
     def events(self, job_id: str) -> Iterator[dict]:
         """Stream a job's canonical events (ends at the terminal one).
@@ -166,25 +410,101 @@ class ServiceClient:
         Holds a dedicated connection for the duration of the stream
         (the chunked response owns it), leaving :attr:`_conn` free for
         concurrent status calls.
+
+        A connection dropped mid-stream — including one that tears a
+        JSONL line in half — raises a retryable
+        :class:`~repro.errors.ServiceError` with
+        ``code="stream-truncated"`` carrying the last complete event's
+        sequence number in its message; callers resume from there via
+        :meth:`events_after` (see :meth:`follow_events`).
         """
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
+        last_seq = 0
         try:
-            conn.request("GET", f"/v1/jobs/{job_id}/events")
-            response = conn.getresponse()
+            try:
+                conn.request("GET", f"/v1/jobs/{job_id}/events")
+                response = conn.getresponse()
+            except (
+                ConnectionError,
+                http.client.HTTPException,
+                OSError,
+            ) as exc:
+                raise ServiceError(
+                    f"audit service at {self.host}:{self.port} "
+                    f"unreachable: {exc}",
+                    status=503,
+                    code="unreachable",
+                    retryable=True,
+                ) from exc
             if response.status != 200:
                 payload = response.read()
                 self._raise_for(response.status, response.headers, payload)
             while True:
-                line = response.readline()
+                try:
+                    line = response.readline()
+                except (
+                    ConnectionError,
+                    http.client.HTTPException,
+                    OSError,
+                ) as exc:
+                    raise _truncated(job_id, last_seq, exc) from exc
                 if not line:
                     return
-                line = line.strip()
-                if line:
-                    yield json.loads(line)
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                if not line.endswith(b"\n"):
+                    # EOF mid-line: the terminating newline never
+                    # arrived, so this event cannot be trusted.
+                    raise _truncated(job_id, last_seq, "partial line")
+                try:
+                    event = json.loads(stripped)
+                except json.JSONDecodeError as exc:
+                    raise _truncated(job_id, last_seq, exc) from exc
+                if isinstance(event, dict) and "seq" in event:
+                    last_seq = event["seq"]
+                yield event
         finally:
             conn.close()
+
+    def follow_events(self, job_id: str) -> Iterator[dict]:
+        """Stream events, transparently resuming truncated streams.
+
+        Retries ``stream-truncated`` failures on the client's backoff
+        schedule, resuming after the last complete event via the
+        long-poll endpoint — each event is yielded exactly once.
+        """
+        last_seq = 0
+        try:
+            for event in self.events(job_id):
+                if isinstance(event, dict):
+                    last_seq = max(last_seq, event.get("seq", 0))
+                yield event
+            return
+        except ServiceError as exc:
+            if exc.code != "stream-truncated":
+                raise
+        delays = iter(self._delays if self._delays else [0.0])
+        while True:
+            try:
+                events, terminal = self.events_after(
+                    job_id, after=last_seq, wait=_LONG_POLL_SECONDS
+                )
+            except ServiceError as exc:
+                if not exc.retryable:
+                    raise
+                try:
+                    self._sleep(next(delays))
+                except StopIteration:
+                    raise exc from None
+                continue
+            for event in events:
+                last_seq = max(last_seq, event.get("seq", last_seq))
+                yield event
+            if terminal and not events:
+                return
 
     def report(
         self,
@@ -240,6 +560,16 @@ class ServiceClient:
         )
 
 
+def _truncated(job_id: str, last_seq: int, cause) -> ServiceError:
+    return ServiceError(
+        f"event stream for {job_id} truncated after seq {last_seq}: "
+        f"{cause}",
+        status=503,
+        code="stream-truncated",
+        retryable=True,
+    )
+
+
 class RemoteAuditingAgent:
     """Figure-1 agent whose SIA audits run on a remote service.
 
@@ -248,6 +578,10 @@ class RemoteAuditingAgent:
     canonical :class:`~repro.api.AuditRequest` per candidate deployment
     and merges the returned reports.  PIA stays local-only: shipping
     raw component sets to a third party would defeat its purpose.
+
+    Waiting rides :meth:`ServiceClient.wait`'s long-poll path, so a
+    slow remote audit costs a handful of HTTP requests, not a request
+    per poll interval.
     """
 
     def __init__(

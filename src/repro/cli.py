@@ -120,6 +120,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=300.0,
         help="seconds to wait for a --remote job (default 300)",
     )
+    audit.add_argument(
+        "--retries", type=int, default=4,
+        help=(
+            "retry attempts for transient --remote failures (connection "
+            "errors, 429/503) with capped exponential backoff; 0 "
+            "disables retries (default 4)"
+        ),
+    )
 
     many = sub.add_parser(
         "audit-many",
@@ -306,6 +314,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--block-size", type=int, default=4096,
         help="sampling rounds per block (part of the seeded stream)",
     )
+    serve.add_argument(
+        "--state-dir", default=None, dest="state_dir", metavar="DIR",
+        help=(
+            "durable state directory: every job is journalled there and "
+            "a restarted server resumes queued/in-flight jobs and "
+            "serves finished reports byte-identically (default: "
+            "in-memory only)"
+        ),
+    )
+    serve.add_argument(
+        "--no-resume", action="store_false", dest="resume",
+        help=(
+            "with --state-dir: journal new jobs but do not replay "
+            "existing journal state on startup"
+        ),
+    )
+    serve.add_argument(
+        "--inject", default=None, metavar="SCHEDULE",
+        help=(
+            "arm a fault_schedule JSON file (repro.testing.faults) for "
+            "deterministic chaos testing of this server process"
+        ),
+    )
 
     sub.add_parser("example", help="Figure 4 worked example")
     return parser
@@ -368,9 +399,15 @@ def _run_audit(args: argparse.Namespace) -> int:
         tenant=args.tenant,
     )
     if args.remote:
-        from repro.agents.transport import ServiceClient
+        from repro.agents.transport import RetryPolicy, ServiceClient
 
-        with ServiceClient(args.remote) as client:
+        retries = getattr(args, "retries", 4)
+        policy = (
+            RetryPolicy(retries=retries, seed=request.seed or 0)
+            if retries > 0
+            else None
+        )
+        with ServiceClient(args.remote, retry=policy) as client:
             report = client.audit(request, timeout=args.timeout)
     else:
         from repro.engine import AuditEngine
@@ -597,19 +634,40 @@ def _run_serve(args: argparse.Namespace) -> int:
     from repro.engine.incremental import DeltaAuditEngine
     from repro.service import AuditServer, JobManager
 
+    injector = None
+    if getattr(args, "inject", None):
+        from repro.testing.faults import FaultInjector, FaultSchedule
+
+        schedule = FaultSchedule.from_path(args.inject)
+        injector = FaultInjector(schedule)
+        injector.__enter__()
+        print(
+            f"indaas serve: fault injection armed "
+            f"({len(schedule)} faults, seed={schedule.seed})",
+            file=sys.stderr,
+            flush=True,
+        )
     manager = JobManager(
         DeltaAuditEngine(block_size=args.block_size),
         workers=args.workers,
         per_tenant_limit=args.per_tenant,
         total_limit=args.queue_limit,
+        state_dir=getattr(args, "state_dir", None),
+        resume=getattr(args, "resume", True),
     )
     server = AuditServer(manager, host=args.host, port=args.port)
 
     async def run() -> None:
         await server.start()
+        recovered = manager.stats()["journal"]["recovered_jobs"]
+        durability = (
+            f", journal at {args.state_dir} ({recovered} jobs recovered)"
+            if getattr(args, "state_dir", None)
+            else ""
+        )
         print(
             f"indaas serve: listening on {server.url} "
-            f"({args.workers} workers)",
+            f"({args.workers} workers{durability})",
             file=sys.stderr,
             flush=True,
         )
@@ -634,6 +692,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:  # signal raced the handler install
         pass
+    finally:
+        if injector is not None:
+            injector.__exit__(None, None, None)
     return 0
 
 

@@ -16,9 +16,10 @@ then serves any number of blocks without further graph traffic.
 from __future__ import annotations
 
 import contextlib
+import os
 import pickle
 import threading
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -28,6 +29,7 @@ import numpy as np
 from repro.engine.batch import BlockOutcome, run_block
 from repro.engine.cache import compile_cached
 from repro.errors import AnalysisError, AuditCancelled
+from repro.testing.faults import worker_kill_indices
 
 __all__ = [
     "BlockPlan",
@@ -186,16 +188,26 @@ def _init_sampling_worker(payload: bytes) -> None:
         default_probability,
         minimise,
         packed,
+        kills,
     ) = pickle.loads(payload)
     _WORKER_STATE["compiled"] = compile_cached(graph)
     _WORKER_STATE["probabilities"] = probabilities
     _WORKER_STATE["default_probability"] = default_probability
     _WORKER_STATE["minimise"] = minimise
     _WORKER_STATE["packed"] = packed
+    _WORKER_STATE["kills"] = kills
 
 
-def _run_block_task(task: tuple[int, np.random.SeedSequence]) -> BlockOutcome:
-    block_rounds, seed = task
+def _run_block_task(
+    task: tuple[int, int, np.random.SeedSequence]
+) -> BlockOutcome:
+    index, block_rounds, seed = task
+    if index in _WORKER_STATE["kills"]:
+        # Injected worker crash (repro.testing.faults): die the way a
+        # real segfault/OOM-kill would, taking the whole process down
+        # mid-plan.  The parent's recovery path retries the block
+        # inline, where no kill set applies.
+        os._exit(23)  # faults.KILL_EXIT_CODE
     return run_block(
         _WORKER_STATE["compiled"],
         block_rounds,
@@ -240,12 +252,27 @@ def run_plan_parallel(
     :func:`run_plan_serial` returns for the same plan and stopper
     config, regardless of worker count (speculatively computed blocks
     past the stopping point are discarded, not merged).
+
+    **Worker-crash recovery:** a worker process that dies mid-plan
+    (segfault, OOM kill, injected ``worker-kill`` fault) breaks the
+    whole ``ProcessPoolExecutor`` — every unfinished future raises
+    ``BrokenProcessPool``.  Instead of poisoning the run, the remaining
+    blocks (the dead worker's included) are executed inline in the
+    parent, in plan order.  Each block is a pure function of
+    ``(graph, rounds, seed)``, so the merged result stays bit-identical
+    to an undisturbed run, whatever the worker count.
     """
+    kills = worker_kill_indices("parallel.block")
     payload = pickle.dumps(
-        (graph, probabilities, default_probability, minimise, packed),
+        (graph, probabilities, default_probability, minimise, packed, kills),
         protocol=pickle.HIGHEST_PROTOCOL,
     )
-    tasks = list(zip(plan.rounds, plan.seeds))
+    tasks = [
+        (index, block_rounds, seed)
+        for index, (block_rounds, seed) in enumerate(
+            zip(plan.rounds, plan.seeds)
+        )
+    ]
     workers = min(n_workers, len(tasks))
     outcomes: list[BlockOutcome] = []
     pool = ProcessPoolExecutor(
@@ -253,22 +280,76 @@ def run_plan_parallel(
         initializer=_init_sampling_worker,
         initargs=(payload,),
     )
+    broken_at: Optional[int] = None
     try:
-        futures = [pool.submit(_run_block_task, task) for task in tasks]
-        for future in futures:
+        try:
+            futures = [pool.submit(_run_block_task, task) for task in tasks]
+        except BrokenExecutor:
+            broken_at = 0
+            futures = []
+        for index, future in enumerate(futures):
+            if broken_at is not None:
+                break
             while True:
                 check_cancelled()
                 try:
                     outcome = future.result(timeout=_CANCEL_POLL_SECONDS)
                 except FuturesTimeoutError:
                     continue
+                except BrokenExecutor:
+                    broken_at = index
+                    break
+                break
+            if broken_at is not None:
                 break
             outcomes.append(outcome)
             if stopper is not None and stopper.observe(outcome):
                 break
+        if broken_at is not None:
+            outcomes.extend(
+                _finish_plan_inline(
+                    graph,
+                    tasks[broken_at:],
+                    probabilities=probabilities,
+                    default_probability=default_probability,
+                    minimise=minimise,
+                    packed=packed,
+                    stopper=stopper,
+                )
+            )
         return outcomes
     finally:
         pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _finish_plan_inline(
+    graph,
+    tasks: Sequence[tuple],
+    *,
+    probabilities,
+    default_probability,
+    minimise,
+    packed,
+    stopper,
+) -> list[BlockOutcome]:
+    """Run the tail of a plan inline after a pool broke mid-run."""
+    compiled = compile_cached(graph)
+    outcomes = []
+    for _, block_rounds, seed in tasks:
+        check_cancelled()
+        outcome = run_block(
+            compiled,
+            block_rounds,
+            np.random.default_rng(seed),
+            probabilities=probabilities,
+            default_probability=default_probability,
+            minimise=minimise,
+            packed=packed,
+        )
+        outcomes.append(outcome)
+        if stopper is not None and stopper.observe(outcome):
+            break
+    return outcomes
 
 
 # --------------------------------------------------------------------- #

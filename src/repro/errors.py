@@ -73,6 +73,10 @@ class ServiceError(IndaasError):
         code: Stable machine-readable error identifier (kebab-case).
         retry_after: Seconds after which retrying may succeed, when the
             failure is load-related (429/503), else ``None``.
+        retryable: Whether a retry of the same request may succeed
+            (transient transport/load failures: connection resets,
+            truncated streams, 429/503).  The retrying client keys its
+            backoff loop off this flag.
     """
 
     def __init__(
@@ -81,11 +85,13 @@ class ServiceError(IndaasError):
         status: int = 500,
         code: str = "internal",
         retry_after: "float | None" = None,
+        retryable: bool = False,
     ) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
         self.retry_after = retry_after
+        self.retryable = retryable
 
 
 class Backpressure(ServiceError):
@@ -95,5 +101,9 @@ class Backpressure(ServiceError):
         self, message: str, retry_after: float = 1.0, code: str = "overloaded"
     ) -> None:
         super().__init__(
-            message, status=429, code=code, retry_after=retry_after
+            message,
+            status=429,
+            code=code,
+            retry_after=retry_after,
+            retryable=True,
         )

@@ -67,12 +67,22 @@ class AdmissionQueue:
         with self._ready:
             return self._closed
 
-    def push(self, tenant: str, item, *, retry_after: float = 1.0) -> int:
+    def push(
+        self,
+        tenant: str,
+        item,
+        *,
+        retry_after: float = 1.0,
+        force: bool = False,
+    ) -> int:
         """Admit ``item`` for ``tenant`` or raise.
 
         Returns the item's current position in round-robin service order
         (0 = next to be served).  Raises :class:`Backpressure` when a
         bound is hit and :class:`ServiceError` (503) once closed.
+        ``force`` bypasses the bounds (never the closed check): journal
+        recovery re-queues every surviving job — jobs that were already
+        admitted once must not be shed by their own restart.
         """
         with self._ready:
             if self._closed:
@@ -83,6 +93,15 @@ class AdmissionQueue:
                     retry_after=retry_after,
                 )
             queue = self._queues.get(tenant)
+            if force:
+                if queue is None:
+                    queue = self._queues[tenant] = deque()
+                if not queue:
+                    self._order.append(tenant)
+                queue.append(item)
+                self._size += 1
+                self._ready.notify()
+                return self._position_locked(item)
             if queue is not None and len(queue) >= self.per_tenant_limit:
                 raise Backpressure(
                     f"tenant {tenant!r} already has {len(queue)} queued "

@@ -27,13 +27,15 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from pathlib import Path
+from typing import Iterator, Optional, Union
 
 from repro import api
 from repro.engine.incremental import DeltaAuditEngine, LRUCache
 from repro.engine.parallel import cancel_scope
 from repro.errors import AuditCancelled, IndaasError, ServiceError
 from repro.service.admission import AdmissionQueue
+from repro.service.journal import JobJournal
 
 __all__ = ["Job", "JobManager"]
 
@@ -56,6 +58,8 @@ class Job:
     cached: bool = False
     started: Optional[float] = None
     finished: Optional[float] = None
+    journaled: bool = False
+    recovered: bool = False
 
     @property
     def is_terminal(self) -> bool:
@@ -77,6 +81,12 @@ class JobManager:
         report_cache: Entries in the content-addressed report store.
         graph_cache: Entries in the structural-hash → fault-graph store
             used to resolve :attr:`~repro.api.AuditRequest.base`.
+        state_dir: Directory for the durable job journal
+            (:class:`~repro.service.journal.JobJournal`).  ``None`` runs
+            fully in memory (the pre-journal behaviour).
+        resume: With a ``state_dir``, replay the journal on startup:
+            finished jobs come back serving byte-identical reports,
+            unfinished ones are re-queued and re-run.
     """
 
     def __init__(
@@ -88,6 +98,8 @@ class JobManager:
         total_limit: int = 64,
         report_cache: int = 256,
         graph_cache: int = 32,
+        state_dir: Optional[Union[str, Path]] = None,
+        resume: bool = True,
     ) -> None:
         if engine is None:
             engine = DeltaAuditEngine()
@@ -100,11 +112,18 @@ class JobManager:
         self._reports = LRUCache(report_cache)  # key -> (bytes, hash)
         self._fingerprints = LRUCache(report_cache)  # fingerprint -> key
         self._graphs = LRUCache(graph_cache)  # structural hash -> graph
+        self._idempotency = LRUCache(report_cache)  # client key -> job id
         self._counter = 0
         self._running = 0
         self._cache_hits = 0
         self._ewma: Optional[float] = None
         self._closed = False
+        self.journal = JobJournal(state_dir) if state_dir is not None else None
+        self._journal_errors = 0
+        self._journal_degraded = False
+        self._recovered_jobs = 0
+        if self.journal is not None and resume:
+            self._recover()
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -118,11 +137,24 @@ class JobManager:
 
     # ----------------------------- submit ----------------------------- #
 
-    def submit(self, request: api.AuditRequest) -> Job:
+    def submit(
+        self,
+        request: api.AuditRequest,
+        idempotency_key: Optional[str] = None,
+    ) -> Job:
         """Admit one audit request; returns the (possibly finished) job.
 
         Raises :class:`~repro.errors.Backpressure` when admission bounds
         are hit and :class:`~repro.errors.ServiceError` once closed.
+
+        ``idempotency_key`` makes retried submissions safe: a repeat
+        submit with the same key while the first submit's job is still
+        live returns that job instead of enqueuing a duplicate (the
+        retrying client sends the request
+        :meth:`~repro.api.AuditRequest.fingerprint`, or a one-shot
+        token for unseeded requests).  Once the job is done, the
+        fingerprint report cache takes over — a repeat submit gets a
+        fresh born-done job, exactly as without a key.
         """
         tenant = request.tenant or "public"
         with self._event:
@@ -132,6 +164,19 @@ class JobManager:
                     status=503,
                     code="shutting-down",
                 )
+            if idempotency_key is not None:
+                existing_id = self._idempotency.get(idempotency_key)
+                existing = (
+                    self._jobs.get(existing_id)
+                    if existing_id is not None
+                    else None
+                )
+                # Terminal jobs fall through: the report cache answers
+                # repeat submits of finished seeded requests (born-done
+                # cache-hit job), and failed/cancelled jobs must not
+                # pin their outcome onto deliberate resubmissions.
+                if existing is not None and not existing.is_terminal:
+                    return existing
             self._counter += 1
             job = Job(
                 id=f"job-{self._counter:06d}",
@@ -153,6 +198,8 @@ class JobManager:
                 self._append_event(job, "cache_hit", report_key=key)
                 self._append_event(job, "done", state="done", cached=True)
                 self._jobs[job.id] = job
+                self._register(job, idempotency_key)
+                self._journal_admitted(job)
                 self._event.notify_all()
                 return job
             position = self.admission.push(
@@ -160,8 +207,129 @@ class JobManager:
             )
             self._append_event(job, "queued", queue_position=position)
             self._jobs[job.id] = job
+            self._register(job, idempotency_key)
+            self._journal_admitted(job)
             self._event.notify_all()
             return job
+
+    def _register(self, job: Job, idempotency_key: Optional[str]) -> None:
+        # Caller holds the lock.
+        if idempotency_key is not None:
+            self._idempotency.put(idempotency_key, job.id)
+
+    # ---------------------------- journal ----------------------------- #
+
+    def _journal_safe(self, operation) -> bool:
+        """Run one journal operation; degrade instead of failing the job.
+
+        Durability is best-effort once the disk misbehaves (``ENOSPC``
+        and friends): the service keeps running in memory, counts the
+        error, and flags itself degraded in :meth:`stats` — losing
+        crash-safety is strictly better than losing availability.
+        """
+        if self.journal is None or self._journal_degraded:
+            return False
+        try:
+            operation()
+            return True
+        except OSError:
+            self._journal_errors += 1
+            self._journal_degraded = True
+            return False
+
+    def _journal_admitted(self, job: Job) -> None:
+        # Caller holds the lock.  Written only after the job is
+        # registered: a submission rejected by admission control must
+        # not resurrect on replay.
+        if self.journal is None or self._journal_degraded:
+            return
+        fingerprint = (
+            job.request.fingerprint() if job.request.seed is not None else None
+        )
+        ok = self._journal_safe(
+            lambda: self.journal.record_submitted(
+                job.id, job.tenant, job.request.to_dict(), fingerprint
+            )
+        )
+        if not ok:
+            return
+        job.journaled = True
+        if job.report_bytes is not None:  # born done from the cache
+            self._journal_report(job)
+        for event in job.events:
+            if not self._journal_safe(
+                lambda event=event: self.journal.record_event(job.id, event)
+            ):
+                return
+        if job.is_terminal:
+            self.journal.close_job(job.id)
+
+    def _journal_report(self, job: Job) -> None:
+        def store() -> None:
+            sha = self.journal.store_report(job.report_bytes)
+            self.journal.record_report(
+                job.id, sha, job.report_key, job.structural_hash
+            )
+
+        self._journal_safe(store)
+
+    def _recover(self) -> None:
+        """Replay the journal: restore finished jobs, re-queue the rest."""
+        for journaled in self.journal.replay():
+            try:
+                request = api.AuditRequest.from_dict(journaled.request)
+            except IndaasError:
+                continue  # unreadable request: nothing we can re-run
+            self._counter = max(self._counter, journaled.number)
+            job = Job(
+                id=journaled.job_id,
+                request=request,
+                tenant=journaled.tenant,
+                created=time.monotonic(),
+                journaled=True,
+                recovered=True,
+            )
+            job.events = list(journaled.events)
+            restored = False
+            if journaled.is_terminal:
+                data = (
+                    self.journal.load_report(journaled.report_sha)
+                    if journaled.report_sha is not None
+                    else None
+                )
+                if journaled.state in ("failed", "cancelled") or data is not None:
+                    job.state = journaled.state
+                    job.error = journaled.error
+                    job.cached = journaled.cached
+                    job.finished = job.created
+                    if data is not None:
+                        job.report_bytes = data
+                        job.report_key = journaled.report_key
+                        job.structural_hash = journaled.structural_hash
+                        if (
+                            request.seed is not None
+                            and journaled.report_key is not None
+                        ):
+                            self._reports.put(
+                                journaled.report_key,
+                                (data, journaled.structural_hash),
+                            )
+                            self._fingerprints.put(
+                                journaled.fingerprint or request.fingerprint(),
+                                journaled.report_key,
+                            )
+                    self.journal.close_job(job.id)
+                    restored = True
+            if not restored:
+                # Queued or in-flight at crash time (or a done job whose
+                # report bytes were lost): run it again — seeded
+                # requests reproduce the exact bytes by the determinism
+                # contract.
+                job.state = "queued"
+                self._append_event(job, "recovered", state="queued")
+                self.admission.push(job.tenant, job, force=True)
+            self._jobs[job.id] = job
+            self._recovered_jobs += 1
 
     def _cached_report(self, request: api.AuditRequest):
         if request.seed is None:
@@ -268,6 +436,10 @@ class JobManager:
             job.report_bytes = data
             job.report_key = key
             job.structural_hash = result.structural_hash
+            if job.journaled:
+                # WAL ordering: the report bytes land (content-addressed,
+                # fsync'd) before the terminal event that promises them.
+                self._journal_report(job)
             self._graphs.put(result.structural_hash, result.graph)
             if job.request.seed is not None:
                 self._reports.put(key, (data, result.structural_hash))
@@ -294,14 +466,19 @@ class JobManager:
         if error is not None:
             fields["error"] = error
         self._append_event(job, state, state=state, **fields)
+        if self.journal is not None and job.journaled:
+            self.journal.close_job(job.id)
         self._event.notify_all()
 
     def _append_event(self, job: Job, event: str, **fields) -> None:
-        job.events.append(
-            api.job_event(
-                event, seq=len(job.events) + 1, job_id=job.id, **fields
-            )
+        record = api.job_event(
+            event, seq=len(job.events) + 1, job_id=job.id, **fields
         )
+        job.events.append(record)
+        if job.journaled:
+            self._journal_safe(
+                lambda: self.journal.record_event(job.id, record)
+            )
 
     # ----------------------------- queries ---------------------------- #
 
@@ -420,6 +597,12 @@ class JobManager:
                 "cache_hits": self._cache_hits,
                 "reports_cached": len(self._reports),
                 "closed": self._closed,
+                "journal": {
+                    "enabled": self.journal is not None,
+                    "degraded": self._journal_degraded,
+                    "errors": self._journal_errors,
+                    "recovered_jobs": self._recovered_jobs,
+                },
             }
 
     # ---------------------------- shutdown ---------------------------- #
@@ -446,3 +629,5 @@ class JobManager:
                     self._finish(job, "cancelled")
         for thread in self._workers:
             thread.join(timeout=timeout)
+        if self.journal is not None:
+            self.journal.close()

@@ -1,0 +1,315 @@
+"""Durable write-ahead journal for audit jobs.
+
+``indaas serve --state-dir DIR`` makes the service crash-safe: every
+job's lifecycle is appended to a per-job JSONL journal, fsync'd record
+by record, and finished reports are stored as content-addressed files.
+A killed server replays the journals on startup
+(:meth:`JobJournal.replay`), re-queues jobs that never finished and
+serves already-finished reports byte-identically — by the determinism
+contract, a re-run of a seeded request produces the exact bytes the
+interrupted run would have.
+
+Layout under the state directory::
+
+    jobs/<job_id>.jsonl      append-only journal, one record per line
+    reports/<sha256>.json    content-addressed report bytes
+
+Journal records (each a canonical-JSON line with a ``record`` field):
+
+* ``submitted`` — the full :class:`~repro.api.AuditRequest` document,
+  tenant and fingerprint; written once, first.
+* ``event`` — one canonical job event, exactly as streamed to clients.
+* ``report`` — content address (``sha256``) of the finished report
+  bytes plus ``report_key``/``structural_hash``; always written
+  *before* the terminal ``done`` event, so recovery that sees ``done``
+  always finds the bytes.
+
+Crash tolerance: a crash mid-append leaves at most one partial trailing
+line; :meth:`replay` drops it and truncates the file back to the last
+complete record, so the journal stays appendable after recovery.  Report
+files are written to a temp name, fsync'd, then renamed — a report
+either exists completely or not at all, and its name is the SHA-256 of
+its bytes (verified on load).
+
+Fault injection: appends cross the ``journal.append`` point, where a
+scheduled ``disk-full`` fault raises ``OSError(ENOSPC)`` — the
+:class:`~repro.service.jobs.JobManager` degrades to in-memory operation
+instead of failing jobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.api import canonical_json
+from repro.errors import ServiceError
+from repro.testing.faults import fault_point
+
+__all__ = ["JobJournal", "JournaledJob"]
+
+_TERMINAL = frozenset({"done", "failed", "cancelled"})
+_JOB_FILE = re.compile(r"\A(?P<job_id>[\w.-]+)\.jsonl\Z")
+
+
+@dataclass
+class JournaledJob:
+    """One job reconstructed from its journal file."""
+
+    job_id: str
+    tenant: str = "public"
+    request: Optional[dict] = None  # audit_request document
+    fingerprint: Optional[str] = None
+    events: list = field(default_factory=list)
+    state: str = "queued"
+    error: Optional[dict] = None
+    cached: bool = False
+    report_sha: Optional[str] = None
+    report_key: Optional[str] = None
+    structural_hash: Optional[str] = None
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in _TERMINAL
+
+    @property
+    def number(self) -> int:
+        """Numeric suffix of ``job-NNNNNN`` ids (0 when unparseable)."""
+        _, _, suffix = self.job_id.rpartition("-")
+        return int(suffix) if suffix.isdigit() else 0
+
+
+class JobJournal:
+    """Append-only, fsync'd journal of every job under one state dir.
+
+    Thread-safe.  One open append handle per live job; terminal jobs
+    are closed (:meth:`close_job`) to bound file descriptors.
+    """
+
+    def __init__(self, state_dir: Union[str, Path]) -> None:
+        self.root = Path(state_dir)
+        self.jobs_dir = self.root / "jobs"
+        self.reports_dir = self.root / "reports"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.reports_dir.mkdir(parents=True, exist_ok=True)
+        self._handles: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    # ----------------------------- append ----------------------------- #
+
+    def _job_path(self, job_id: str) -> Path:
+        if not _JOB_FILE.match(f"{job_id}.jsonl"):
+            raise ServiceError(f"unjournalable job id: {job_id!r}")
+        return self.jobs_dir / f"{job_id}.jsonl"
+
+    def append(self, job_id: str, record: dict) -> None:
+        """Durably append one record to a job's journal.
+
+        The record only counts as written once both the line and the
+        fsync complete; a failed append truncates back to the previous
+        end-of-file so a partial line can never precede a later good
+        one.  Raises ``OSError`` (e.g. ``ENOSPC``) to the caller, which
+        owns the degrade decision.
+        """
+        line = (canonical_json(record) + "\n").encode("utf-8")
+        with self._lock:
+            handle = self._handles.get(job_id)
+            if handle is None:
+                created = not self._job_path(job_id).exists()
+                handle = open(self._job_path(job_id), "ab")
+                self._handles[job_id] = handle
+                if created:
+                    _fsync_dir(self.jobs_dir)
+            position = handle.tell()
+            try:
+                fault_point("journal.append", job_id=job_id)
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+            except OSError:
+                try:
+                    handle.truncate(position)
+                except OSError:
+                    # Cannot repair in place; drop the handle so a
+                    # later append reopens (and replay re-truncates).
+                    handle.close()
+                    del self._handles[job_id]
+                raise
+
+    def record_submitted(
+        self,
+        job_id: str,
+        tenant: str,
+        request_document: dict,
+        fingerprint: Optional[str],
+    ) -> None:
+        self.append(
+            job_id,
+            {
+                "record": "submitted",
+                "job_id": job_id,
+                "tenant": tenant,
+                "request": request_document,
+                "fingerprint": fingerprint,
+            },
+        )
+
+    def record_event(self, job_id: str, event: dict) -> None:
+        self.append(job_id, {"record": "event", "event": event})
+
+    def record_report(
+        self,
+        job_id: str,
+        sha256: str,
+        report_key: Optional[str],
+        structural_hash: Optional[str],
+    ) -> None:
+        self.append(
+            job_id,
+            {
+                "record": "report",
+                "sha256": sha256,
+                "report_key": report_key,
+                "structural_hash": structural_hash,
+            },
+        )
+
+    def close_job(self, job_id: str) -> None:
+        with self._lock:
+            handle = self._handles.pop(job_id, None)
+            if handle is not None:
+                handle.close()
+
+    def close(self) -> None:
+        with self._lock:
+            for handle in self._handles.values():
+                handle.close()
+            self._handles.clear()
+
+    # ------------------------- report store --------------------------- #
+
+    def store_report(self, data: bytes) -> str:
+        """Store report bytes content-addressed; returns their SHA-256.
+
+        Idempotent: identical bytes share one file.  Atomic: temp file,
+        fsync, rename, directory fsync — a crash leaves either the
+        complete report or nothing.
+        """
+        digest = hashlib.sha256(data).hexdigest()
+        final = self.reports_dir / f"{digest}.json"
+        if final.exists():
+            return digest
+        temp = self.reports_dir / f".{digest}.tmp.{os.getpid()}"
+        with open(temp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, final)
+        _fsync_dir(self.reports_dir)
+        return digest
+
+    def load_report(self, sha256: str) -> Optional[bytes]:
+        """Fetch stored report bytes, verifying the content address.
+
+        Returns ``None`` when missing or corrupt — recovery re-runs the
+        job instead of serving damaged bytes.
+        """
+        path = self.reports_dir / f"{sha256}.json"
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        if hashlib.sha256(data).hexdigest() != sha256:
+            return None
+        return data
+
+    # ----------------------------- replay ----------------------------- #
+
+    def replay(self) -> list[JournaledJob]:
+        """Reconstruct every journaled job, oldest first.
+
+        Tolerates (and repairs) a partial trailing line per file — the
+        signature of a crash mid-append.  Files with no complete
+        ``submitted`` record are ignored: the job was never durably
+        admitted, so the client never got an acknowledgement for it.
+        """
+        jobs = []
+        for path in sorted(self.jobs_dir.glob("*.jsonl")):
+            match = _JOB_FILE.match(path.name)
+            if match is None:
+                continue
+            records = self._read_records(path)
+            job = _fold_records(match.group("job_id"), records)
+            if job is not None:
+                jobs.append(job)
+        jobs.sort(key=lambda job: (job.number, job.job_id))
+        return jobs
+
+    def _read_records(self, path: Path) -> list[dict]:
+        data = path.read_bytes()
+        records = []
+        offset = 0
+        for line in data.splitlines(keepends=True):
+            if not line.endswith(b"\n"):
+                break  # partial trailing line: crash mid-append
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn write: everything after is suspect
+            if not isinstance(record, dict):
+                break
+            records.append(record)
+            offset += len(line)
+        if offset < len(data):
+            with open(path, "ab") as handle:
+                handle.truncate(offset)
+        return records
+
+
+def _fold_records(job_id: str, records: list[dict]) -> Optional[JournaledJob]:
+    job = JournaledJob(job_id=job_id)
+    for record in records:
+        kind = record.get("record")
+        if kind == "submitted":
+            job.tenant = record.get("tenant", job.tenant)
+            job.request = record.get("request")
+            job.fingerprint = record.get("fingerprint")
+        elif kind == "event":
+            event = record.get("event")
+            if isinstance(event, dict):
+                job.events.append(event)
+                name = event.get("event")
+                if name in _TERMINAL:
+                    job.state = name
+                    error = event.get("error")
+                    if isinstance(error, dict):
+                        job.error = error
+                elif name == "started":
+                    job.state = "running"
+                elif name in ("queued", "recovered"):
+                    job.state = "queued"
+                if name == "cache_hit":
+                    job.cached = True
+        elif kind == "report":
+            job.report_sha = record.get("sha256")
+            job.report_key = record.get("report_key")
+            job.structural_hash = record.get("structural_hash")
+    if job.request is None:
+        return None
+    return job
+
+
+def _fsync_dir(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover — some filesystems refuse
+        pass
+    finally:
+        os.close(fd)

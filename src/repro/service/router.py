@@ -11,12 +11,14 @@ thread and writes whatever :class:`Response` comes back.
 from __future__ import annotations
 
 import re
+import urllib.parse
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterator, Mapping, Optional
 
 from repro import api
 from repro.errors import IndaasError, ServiceError
 from repro.service.jobs import JobManager
+from repro.testing.faults import fault_point
 
 __all__ = ["Response", "Router"]
 
@@ -42,6 +44,20 @@ def _json_response(status: int, document: dict, **headers) -> Response:
     )
 
 
+def _int_param(params: dict, name: str, default: int) -> int:
+    try:
+        return max(0, int(params[name][0]))
+    except (KeyError, IndexError, ValueError):
+        return default
+
+
+def _float_param(params: dict, name: str, default: float) -> float:
+    try:
+        return float(params[name][0])
+    except (KeyError, IndexError, ValueError):
+        return default
+
+
 def _error_response(exc: ServiceError) -> Response:
     headers = {}
     if exc.retry_after is not None:
@@ -65,6 +81,11 @@ class Router:
             "GET", r"/v1/jobs/(?P<job_id>[\w.-]+)/events", self.job_events
         )
         self._route(
+            "GET",
+            r"/v1/jobs/(?P<job_id>[\w.-]+)/events/poll",
+            self.job_events_poll,
+        )
+        self._route(
             "GET", r"/v1/jobs/(?P<job_id>[\w.-]+)/report", self.job_report
         )
         self._route(
@@ -76,9 +97,22 @@ class Router:
     def _route(self, method: str, pattern: str, handler) -> None:
         self.routes.append((method, re.compile(pattern + r"\Z"), handler))
 
-    def dispatch(self, method: str, path: str, body: bytes) -> Response:
-        """Resolve and run one request; never raises."""
+    def dispatch(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        query: str = "",
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> Response:
+        """Resolve and run one request; never raises.
+
+        ``query`` is the raw (still-encoded) query string; ``headers``
+        are the request headers with lower-cased names.  Both are
+        optional so transport shims predating them keep working.
+        """
         try:
+            fault_point("server.dispatch", method=method, path=path)
             matched_path = False
             for route_method, pattern, handler in self.routes:
                 match = pattern.match(path)
@@ -86,7 +120,12 @@ class Router:
                     continue
                 matched_path = True
                 if route_method == method:
-                    return handler(body=body, **match.groupdict())
+                    return handler(
+                        body=body,
+                        query=query,
+                        headers=headers or {},
+                        **match.groupdict(),
+                    )
             if matched_path:
                 raise ServiceError(
                     f"method {method} not allowed on {path}",
@@ -112,9 +151,12 @@ class Router:
 
     # ---------------------------- handlers ---------------------------- #
 
-    def submit(self, body: bytes, **_) -> Response:
+    def submit(
+        self, body: bytes, headers: Mapping[str, str] = (), **_
+    ) -> Response:
         request = api.AuditRequest.from_json(body.decode("utf-8"))
-        job = self.manager.submit(request)
+        key = dict(headers).get("idempotency-key") or None
+        job = self.manager.submit(request, idempotency_key=key)
         status = self.manager.status(job.id)
         # A fingerprint cache hit is born done: 200, not 202.
         code = 200 if status.state == "done" else 202
@@ -134,6 +176,27 @@ class Router:
         )
         return Response(
             status=200, content_type="application/jsonl", stream=stream
+        )
+
+    def job_events_poll(self, job_id: str, query: str = "", **_) -> Response:
+        """Long-poll: events past ``after``, blocking up to ``wait`` s.
+
+        The retrying client's :meth:`~repro.agents.transport.
+        ServiceClient.wait` sits on this instead of hammering the status
+        endpoint — one request per ~20 s of waiting, not ten per second.
+        """
+        params = urllib.parse.parse_qs(query)
+        after = _int_param(params, "after", 0)
+        wait = min(60.0, max(0.0, _float_param(params, "wait", 0.0)))
+        events, terminal = self.manager.events_after(
+            job_id, after, timeout=wait
+        )
+        return _json_response(
+            200,
+            api.envelope(
+                "job_events",
+                {"job_id": job_id, "events": events, "terminal": terminal},
+            ),
         )
 
     def job_report(self, job_id: str, **_) -> Response:

@@ -24,6 +24,7 @@ from typing import Optional
 from repro.errors import ServiceError, SpecificationError
 from repro.service.jobs import JobManager
 from repro.service.router import Response, Router
+from repro.testing.faults import fault_point
 
 __all__ = ["AuditServer", "ServiceThread"]
 
@@ -144,7 +145,7 @@ class AuditServer:
 
     async def _handle_request(self, head: bytes, reader, writer) -> bool:
         try:
-            method, path, version, headers = _parse_head(head)
+            method, path, query, version, headers = _parse_head(head)
         except SpecificationError as exc:
             await self._write_simple(
                 writer, 400, f'{{"error":"{exc}"}}\n'.encode("utf-8")
@@ -165,7 +166,8 @@ class AuditServer:
             return False
         loop = asyncio.get_running_loop()
         response: Response = await loop.run_in_executor(
-            self._pool, self.router.dispatch, method, path, body
+            self._pool, self.router.dispatch, method, path, body, query,
+            headers,
         )
         wants_close = (
             headers.get("connection", "").lower() == "close"
@@ -215,6 +217,21 @@ class AuditServer:
             )
             if chunk is _STREAM_END:
                 break
+            fault = fault_point("server.stream-chunk", size=len(chunk))
+            if fault is not None and fault.kind == "stream-truncate":
+                # Enact the truncation: claim the full chunk, send half
+                # of it, and kill the connection — the client sees a
+                # JSONL line torn mid-byte, exactly like a real
+                # mid-write crash.
+                writer.write(
+                    f"{len(chunk):x}\r\n".encode("ascii")
+                    + chunk[: max(1, len(chunk) // 2)]
+                )
+                await writer.drain()
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+                return
             writer.write(
                 f"{len(chunk):x}\r\n".encode("ascii") + chunk + b"\r\n"
             )
@@ -230,7 +247,7 @@ class AuditServer:
         )
 
 
-def _parse_head(head: bytes) -> tuple[str, str, str, dict]:
+def _parse_head(head: bytes) -> tuple[str, str, str, str, dict]:
     try:
         text = head.decode("ascii")
     except UnicodeDecodeError as exc:
@@ -240,7 +257,7 @@ def _parse_head(head: bytes) -> tuple[str, str, str, dict]:
     if len(parts) != 3 or not parts[2].startswith("HTTP/"):
         raise SpecificationError("malformed request line")
     method, target, version = parts
-    path = target.split("?", 1)[0]
+    path, _, query = target.partition("?")
     headers: dict[str, str] = {}
     for line in lines[1:]:
         if not line:
@@ -249,7 +266,7 @@ def _parse_head(head: bytes) -> tuple[str, str, str, dict]:
             raise SpecificationError("malformed header line")
         name, _, value = line.partition(":")
         headers[name.strip().lower()] = value.strip()
-    return method, path, version, headers
+    return method, path, query, version, headers
 
 
 class ServiceThread:

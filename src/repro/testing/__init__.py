@@ -1,0 +1,27 @@
+"""Test-support machinery that ships with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness: production code declares named *injection points* (no-ops in
+normal operation) and a seeded :class:`~repro.testing.faults.FaultSchedule`
+decides which crossings of those points fail, and how.  Tests use it as
+a context manager; ``indaas serve --inject schedule.json`` installs it
+process-wide for manual chaos runs.
+"""
+
+from repro.testing.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultInjector,
+    FaultSchedule,
+    fault_point,
+    worker_kill_indices,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjector",
+    "FaultSchedule",
+    "fault_point",
+    "worker_kill_indices",
+]

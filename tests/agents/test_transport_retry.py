@@ -1,0 +1,255 @@
+"""Retrying transport: backoff, Retry-After, long-poll, truncation.
+
+Satellite regressions pinned here:
+
+* an unparseable ``Retry-After`` header falls back to the default
+  backoff and annotates the error (never silently ``None``);
+* :meth:`ServiceClient.wait` long-polls — the HTTP request count for a
+  slow job is a handful, not one per poll interval;
+* a JSONL event line torn mid-stream surfaces as a typed retryable
+  ``stream-truncated`` :class:`~repro.errors.ServiceError`, never a raw
+  ``json.JSONDecodeError``.
+"""
+
+import os
+
+import pytest
+
+from repro import api
+from repro.agents.transport import RetryPolicy, ServiceClient
+from repro.errors import IndaasError, ServiceError, SpecificationError
+from repro.service import JobManager, ServiceThread
+from repro.testing.faults import Fault, FaultInjector, FaultSchedule
+
+from tests.service.conftest import make_request
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "20140807"))
+
+
+@pytest.fixture
+def service():
+    handle = ServiceThread(JobManager(workers=1)).start()
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(service):
+    with ServiceClient(service.url, retry=RetryPolicy(seed=SEED)) as remote:
+        yield remote
+
+
+class TestRetryPolicy:
+    def test_delays_are_deterministic_per_seed(self):
+        policy = RetryPolicy(retries=6, seed=SEED)
+        assert list(policy.delays()) == list(policy.delays())
+        assert list(policy.delays()) != list(
+            RetryPolicy(retries=6, seed=SEED + 1).delays()
+        )
+
+    def test_delays_are_capped_exponential(self):
+        policy = RetryPolicy(retries=8, backoff=1.0, cap=4.0, jitter=0.0)
+        assert list(policy.delays()) == [1.0, 2.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0]
+
+    def test_jitter_stays_within_the_band(self):
+        policy = RetryPolicy(retries=50, backoff=1.0, cap=1.0, jitter=0.25)
+        assert all(0.75 <= delay <= 1.25 for delay in policy.delays())
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(SpecificationError):
+            RetryPolicy(backoff=0.5, cap=0.1)
+        with pytest.raises(SpecificationError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestRetryAfterParsing:
+    def test_parseable_header_is_honoured(self):
+        error = ServiceClient._error_for(429, {"Retry-After": "7"}, b"{}")
+        assert error.retry_after == 7.0
+        assert error.retryable
+
+    def test_unparseable_header_falls_back_and_annotates(self):
+        error = ServiceClient._error_for(
+            429, {"Retry-After": "Wed, 21 Oct"}, b"{}"
+        )
+        # Satellite fix: never silently None — the retry loop must
+        # still back off, and the operator must see why.
+        assert error.retry_after == 1.0
+        assert "unparseable Retry-After" in str(error)
+
+    def test_missing_header_stays_none(self):
+        error = ServiceClient._error_for(503, {}, b"{}")
+        assert error.retry_after is None
+        assert error.retryable
+
+    def test_non_load_statuses_are_not_retryable(self):
+        assert not ServiceClient._error_for(404, {}, b"{}").retryable
+        assert not ServiceClient._error_for(500, {}, b"{}").retryable
+
+
+class TestRetries:
+    def test_connection_reset_is_retried_to_success(self, client):
+        schedule = FaultSchedule(
+            (Fault(kind="connection-reset", point="transport.request", at=0),)
+        )
+        with FaultInjector(schedule) as injector:
+            assert client.health()["status"] == "ok"
+        assert injector.fired
+        assert client.retry_count == 1
+
+    def test_retries_exhausted_surfaces_the_error(self, service):
+        schedule = FaultSchedule(
+            (
+                Fault(
+                    kind="connection-reset",
+                    point="transport.request",
+                    at=0,
+                    times=3,
+                ),
+            )
+        )
+        policy = RetryPolicy(retries=2, backoff=0.01, seed=SEED)
+        with ServiceClient(service.url, retry=policy) as remote:
+            with FaultInjector(schedule):
+                with pytest.raises(ServiceError) as excinfo:
+                    remote.health()
+        assert excinfo.value.code == "unreachable"
+        assert excinfo.value.retryable
+
+    def test_retry_disabled_fails_fast(self, service):
+        schedule = FaultSchedule(
+            (Fault(kind="connection-reset", point="transport.request", at=0),)
+        )
+        with ServiceClient(service.url, retry=None) as remote:
+            with FaultInjector(schedule):
+                with pytest.raises(ServiceError):
+                    remote.health()
+            assert remote.retry_count == 0
+
+    def test_submit_retry_attaches_to_the_first_job(self, service):
+        """A retried POST whose first response was lost must not
+        enqueue a duplicate: the Idempotency-Key re-attaches it."""
+        saturated = ServiceThread(JobManager(workers=0)).start()
+        try:
+            policy = RetryPolicy(retries=2, backoff=0.01, seed=SEED)
+            with ServiceClient(saturated.url, retry=policy) as remote:
+                request = make_request(seed=101)
+                first = remote.submit(request)
+                repeat = remote.submit(request)  # same fingerprint key
+                assert repeat.job_id == first.job_id
+        finally:
+            saturated.stop()
+
+
+class TestLongPollWait:
+    def test_wait_uses_a_handful_of_requests(self, client):
+        request = make_request(algorithm="sampling", rounds=60_000, seed=102)
+        submitted = client.submit(request)
+        before = client.request_count
+        status = client.wait(submitted.job_id, timeout=60)
+        assert status.state == "done"
+        used = client.request_count - before
+        # Long-polling: one poll request (possibly a couple on slow
+        # machines) plus the final status fetch.  The old fixed-interval
+        # poller burned ~10 requests per second of runtime.
+        assert used <= 4, f"wait() made {used} HTTP requests"
+
+    def test_wait_falls_back_to_bounded_polling(self, client, monkeypatch):
+        request = make_request(seed=103)
+        submitted = client.submit(request)
+
+        def gone(*args, **kwargs):
+            raise ServiceError("no such endpoint", status=404, code="not-found")
+
+        monkeypatch.setattr(client, "events_after", gone)
+        status = client.wait(submitted.job_id, timeout=60)
+        assert status.state == "done"
+        assert client._long_poll_supported is False
+
+    def test_wait_timeout_raises_typed_error(self, service):
+        stalled = ServiceThread(JobManager(workers=0)).start()
+        try:
+            with ServiceClient(stalled.url) as remote:
+                submitted = remote.submit(make_request(seed=104))
+                with pytest.raises(ServiceError) as excinfo:
+                    remote.wait(submitted.job_id, timeout=0.3)
+            assert excinfo.value.code == "timeout"
+        finally:
+            stalled.stop()
+
+    def test_events_after_pages_incrementally(self, client):
+        submitted = client.submit(make_request(seed=105))
+        client.wait(submitted.job_id, timeout=60)
+        events, terminal = client.events_after(submitted.job_id, 0, wait=0)
+        assert terminal
+        seqs = [event["seq"] for event in events]
+        assert seqs == list(range(1, len(events) + 1))
+        tail, _ = client.events_after(submitted.job_id, seqs[-2], wait=0)
+        assert [event["seq"] for event in tail] == [seqs[-1]]
+
+
+class TestStreamTruncation:
+    def test_truncation_is_a_typed_retryable_error(self, client):
+        submitted = client.submit(make_request(seed=106))
+        client.wait(submitted.job_id, timeout=60)
+        schedule = FaultSchedule(
+            (
+                Fault(
+                    kind="stream-truncate",
+                    point="server.stream-chunk",
+                    at=1,
+                ),
+            )
+        )
+        with FaultInjector(schedule) as injector:
+            with pytest.raises(IndaasError) as excinfo:
+                list(client.events(submitted.job_id))
+        assert injector.fired
+        error = excinfo.value
+        assert isinstance(error, ServiceError)  # never json.JSONDecodeError
+        assert error.code == "stream-truncated"
+        assert error.retryable
+
+    def test_follow_events_resumes_without_loss_or_duplication(self, client):
+        submitted = client.submit(make_request(seed=107))
+        client.wait(submitted.job_id, timeout=60)
+        intact = list(client.events(submitted.job_id))
+        schedule = FaultSchedule(
+            (
+                Fault(
+                    kind="stream-truncate",
+                    point="server.stream-chunk",
+                    at=2,
+                ),
+            )
+        )
+        with FaultInjector(schedule) as injector:
+            followed = list(client.follow_events(submitted.job_id))
+        assert injector.fired
+        assert [e["seq"] for e in followed] == [e["seq"] for e in intact]
+
+
+class TestRemoteAudit:
+    def test_audit_under_seeded_chaos_stays_bit_identical(self, service):
+        """The acceptance shape: a seeded chaos schedule perturbs the
+        transport, the report bytes do not change."""
+        request = make_request(algorithm="sampling", rounds=2000, seed=108)
+        with ServiceClient(service.url, retry=RetryPolicy(seed=SEED)) as calm:
+            reference = calm.audit(request, timeout=60).to_json()
+        schedule = FaultSchedule.seeded(
+            SEED, n=3, points=("transport.request", "server.dispatch")
+        )
+        policy = RetryPolicy(retries=6, backoff=0.01, seed=SEED)
+        with ServiceClient(service.url, retry=policy) as chaotic:
+            with FaultInjector(schedule):
+                chaos_report = chaotic.audit(request, timeout=60).to_json()
+        assert chaos_report == reference
+        direct = api.execute_request(request)
+        assert (
+            api.report_for_request(
+                request, direct.audit, direct.structural_hash
+            ).to_json()
+            == reference
+        )

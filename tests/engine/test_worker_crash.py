@@ -1,0 +1,93 @@
+"""Worker-crash recovery: a dead pool worker never changes results.
+
+An injected ``worker-kill`` fault makes one sampling worker ``_exit``
+mid-plan — breaking the whole ``ProcessPoolExecutor`` — and the parent
+finishes the remaining blocks inline.  The merged outcome must be
+bit-identical to an undisturbed serial run, for any worker count: that
+is the determinism contract crash recovery leans on.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import merge_block_outcomes
+from repro.engine.cache import compile_cached
+from repro.engine.parallel import plan_blocks, run_plan_parallel, run_plan_serial
+from repro.testing.faults import Fault, FaultInjector, FaultSchedule
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "20140807"))
+
+
+def fresh_plan(seed=5, rounds=2000, block_size=256):
+    return plan_blocks(rounds, block_size, np.random.SeedSequence(seed))
+
+
+def fingerprint(outcomes):
+    result = merge_block_outcomes(
+        outcomes,
+        minimised=True,
+        sample_probability=0.5,
+        elapsed_seconds=0.0,
+    )
+    return (
+        result.rounds,
+        result.top_failures,
+        tuple(sorted(map(tuple, map(sorted, result.risk_groups)))),
+    )
+
+
+@pytest.fixture
+def reference(deep_graph):
+    outcomes = run_plan_serial(compile_cached(deep_graph), fresh_plan())
+    return fingerprint(outcomes)
+
+
+class TestWorkerCrashRecovery:
+    def test_killed_worker_is_recovered_bit_identically(
+        self, deep_graph, reference
+    ):
+        schedule = FaultSchedule(
+            (
+                Fault(
+                    kind="worker-kill",
+                    point="parallel.block",
+                    match={"index": 2},
+                ),
+            )
+        )
+        with FaultInjector(schedule) as injector:
+            outcomes = run_plan_parallel(deep_graph, fresh_plan(), 2)
+        assert injector.fired, "the kill never triggered"
+        assert fingerprint(outcomes) == reference
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_recovery_is_identical_for_any_worker_count(
+        self, deep_graph, reference, workers
+    ):
+        schedule = FaultSchedule.seeded(SEED, n=2, kinds=("worker-kill",))
+        with FaultInjector(schedule) as injector:
+            outcomes = run_plan_parallel(deep_graph, fresh_plan(), workers)
+        assert injector.fired
+        assert fingerprint(outcomes) == reference
+
+    def test_first_block_kill_runs_whole_plan_inline(
+        self, deep_graph, reference
+    ):
+        schedule = FaultSchedule(
+            (
+                Fault(
+                    kind="worker-kill",
+                    point="parallel.block",
+                    match={"index": 0},
+                ),
+            )
+        )
+        with FaultInjector(schedule):
+            outcomes = run_plan_parallel(deep_graph, fresh_plan(), 2)
+        assert fingerprint(outcomes) == reference
+
+    def test_no_faults_means_no_recovery_path(self, deep_graph, reference):
+        outcomes = run_plan_parallel(deep_graph, fresh_plan(), 2)
+        assert fingerprint(outcomes) == reference
