@@ -1,0 +1,153 @@
+"""Snapshot-diffed delta audits from a durable store vs cold re-ingest.
+
+Workload: the Figure-9 setting (k providers, half-shared component
+sets, every two-way deployment audited).  A *cold* service start
+re-parses the dependency dump, rebuilds the DepDB and re-samples every
+deployment.  A warm service holding a SQLite-backed store audits the
+same deployments through :meth:`DeltaAuditEngine.audit_store`: the
+store's content hash matches its last-audited snapshot, so every audit
+is a result-cache hit proven bit-identical to the cold run.
+
+Acceptance (ISSUE 9): delta-audit-from-snapshot ≥ 3x faster than cold
+re-ingest + audit, at identical output.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+
+from repro.core.spec import AuditSpec, RGAlgorithm
+from repro.depdb import DepDB
+from repro.depdb.records import HardwareDependency
+from repro.engine.incremental import DeltaAuditEngine
+
+PARAMS = {
+    "smoke": {"providers": 8, "elements": 20, "rounds": 8_000},
+    "quick": {"providers": 10, "elements": 40, "rounds": 20_000},
+    "paper": {"providers": 12, "elements": 100, "rounds": 100_000},
+}
+
+MIN_SPEEDUP = 3.0
+
+
+def provider_records(k: int, n: int) -> list[HardwareDependency]:
+    """Half-shared component-sets (the §6.3.3 setting, as in Figure 9)."""
+    half = n // 2
+    return [
+        HardwareDependency(hw=f"P{i}", type="component", dep=element)
+        for i in range(k)
+        for element in (
+            [f"shared-{j}" for j in range(half)]
+            + [f"p{i}-{j}" for j in range(n - half)]
+        )
+    ]
+
+
+def make_specs(k: int, rounds: int) -> list[AuditSpec]:
+    return [
+        AuditSpec(
+            deployment=f"{a} & {b}",
+            servers=(a, b),
+            algorithm=RGAlgorithm.SAMPLING,
+            sampling_rounds=rounds,
+            seed=0,
+        )
+        for a, b in combinations([f"P{i}" for i in range(k)], 2)
+    ]
+
+
+def test_store_delta_audit_speedup(benchmark, emit, scale, tmp_path):
+    params = PARAMS[scale]
+    k, rounds = params["providers"], params["rounds"]
+    records = provider_records(k, params["elements"])
+    dump = DepDB(records).dumps()
+    specs = make_specs(k, rounds)
+
+    # Cold start: parse the dump, rebuild the store, sample everything.
+    started = time.perf_counter()
+    cold_db = DepDB.loads(dump)
+    cold_engine = DeltaAuditEngine()
+    cold = [
+        cold_engine.audit_store(cold_db, spec, record_snapshot=False)
+        for spec in specs
+    ]
+    cold_seconds = time.perf_counter() - started
+
+    # Warm service: durable store ingested once, first audit pass
+    # records the audited-state snapshots and fills the result cache.
+    store = DepDB.sqlite(tmp_path / "store.sqlite")
+    started = time.perf_counter()
+    ingested = store.ingest(iter(records))
+    ingest_seconds = time.perf_counter() - started
+    engine = DeltaAuditEngine()
+    started = time.perf_counter()
+    for spec in specs:
+        engine.audit_store(store, spec)
+    warmup_seconds = time.perf_counter() - started
+
+    # Steady state: the store has not drifted since its last audit —
+    # the snapshot diff proves it and every audit is a cache hit.
+    started = time.perf_counter()
+    delta = [engine.audit_store(store, spec) for spec in specs]
+    delta_seconds = time.perf_counter() - started
+
+    speedup = cold_seconds / delta_seconds
+    emit.table(
+        f"Store delta audit — fig9 topology, {k} providers "
+        f"({len(specs)} two-way deployments), {rounds} rounds each",
+        ["pass", "seconds", "cache hits", "speedup"],
+        [
+            ["cold re-ingest + audit", f"{cold_seconds:.3f}", 0, "1.0x"],
+            [
+                "store ingest (once)",
+                f"{ingest_seconds:.3f}",
+                "-",
+                "-",
+            ],
+            [
+                "warmup (first store audit)",
+                f"{warmup_seconds:.3f}",
+                0,
+                "-",
+            ],
+            [
+                "delta (unchanged snapshot)",
+                f"{delta_seconds:.3f}",
+                sum(o.cache_hit for o in delta),
+                f"{speedup:.1f}x",
+            ],
+        ],
+    )
+    emit.metric("cold_seconds", round(cold_seconds, 4))
+    emit.metric("delta_seconds", round(delta_seconds, 4))
+    emit.metric("speedup", round(speedup, 2))
+    emit.metric("deployments", len(specs))
+    emit.metric("records", ingested)
+
+    # Drift accounting: every delta audit saw an unchanged store.
+    assert all(o.cache_hit and not o.changed for o in delta)
+    assert ingested == len(records)
+
+    # The determinism contract: cached output ≡ cold output, bitwise.
+    for cold_outcome, delta_outcome in zip(cold, delta):
+        assert (
+            delta_outcome.audit.to_dict() == cold_outcome.audit.to_dict()
+        )
+        assert delta_outcome.structural_hash == cold_outcome.structural_hash
+
+    # The headline acceptance criterion.
+    assert speedup >= MIN_SPEEDUP, (
+        f"delta audit from snapshot only {speedup:.2f}x faster than "
+        f"cold re-ingest + audit"
+    )
+
+    store.close()
+    benchmark.pedantic(
+        lambda: [
+            engine.audit_store(cold_db, spec, record_snapshot=False)
+            for spec in specs
+        ],
+        rounds=1,
+        iterations=1,
+    )

@@ -14,7 +14,7 @@ infrastructure and INDaaS only ever sees uniform records.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Iterable, Type
+from typing import Callable, Iterable, Iterator, Type
 
 from repro.depdb.database import DepDB
 from repro.depdb.records import DependencyRecord
@@ -33,25 +33,60 @@ class DependencyAcquisitionModule(abc.ABC):
     """Base class for all DAMs.
 
     Subclasses set :attr:`kind` (``"network"``, ``"hardware"`` or
-    ``"software"``) and implement :meth:`collect`.
+    ``"software"``) and implement either :meth:`stream` (preferred — a
+    generator, so arbitrarily large sources never materialise a record
+    list) or the legacy list-returning :meth:`collect`; each default
+    implementation falls back to the other.
     """
 
     #: Record category this module produces.
     kind: str = ""
 
-    @abc.abstractmethod
-    def collect(self) -> list[DependencyRecord]:
-        """Gather dependency records from this module's data source."""
+    def stream(self) -> Iterator[DependencyRecord]:
+        """Yield dependency records from this module's data source."""
+        if type(self).collect is DependencyAcquisitionModule.collect:
+            raise AcquisitionError(
+                f"{type(self).__name__} implements neither stream() "
+                f"nor collect()"
+            )
+        yield from self.collect()
 
-    def collect_into(self, depdb: DepDB) -> int:
-        """Collect and store; returns the number of new records."""
-        records = self.collect()
-        if not records:
+    def collect(self) -> list[DependencyRecord]:
+        """Gather dependency records as a list (legacy adapter shape)."""
+        if type(self).stream is DependencyAcquisitionModule.stream:
+            raise AcquisitionError(
+                f"{type(self).__name__} implements neither stream() "
+                f"nor collect()"
+            )
+        return list(self.stream())
+
+    def adapt_into(self, depdb: DepDB, batch_size: int = 1024) -> int:
+        """Stream records into ``depdb`` in dedup'd transactional batches.
+
+        Returns the number of *new* records.  Raises
+        :class:`AcquisitionError` when the source produced nothing at
+        all — a collector that yields zero records is misconfigured,
+        whereas one whose records were all already known is fine.
+        """
+        produced = 0
+
+        def counted() -> Iterator[DependencyRecord]:
+            nonlocal produced
+            for record in self.stream():
+                produced += 1
+                yield record
+
+        added = depdb.ingest(counted(), batch_size=batch_size)
+        if produced == 0:
             raise AcquisitionError(
                 f"{type(self).__name__} collected no records; "
                 f"check its configuration"
             )
-        return depdb.add_all(records)
+        return added
+
+    def collect_into(self, depdb: DepDB) -> int:
+        """Collect and store; returns the number of new records."""
+        return self.adapt_into(depdb)
 
 
 _REGISTRY: dict[str, Type[DependencyAcquisitionModule]] = {}
@@ -106,5 +141,5 @@ def acquire_into(
     counts: dict[str, int] = {}
     for module in modules:
         name = type(module).__name__
-        counts[name] = counts.get(name, 0) + module.collect_into(depdb)
+        counts[name] = counts.get(name, 0) + module.adapt_into(depdb)
     return counts

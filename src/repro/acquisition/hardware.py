@@ -11,7 +11,7 @@ are exactly the common-mode hardware risks audits should surface
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import Iterator, Mapping, Optional, Sequence
 
 from repro.acquisition.base import DependencyAcquisitionModule, register_module
 from repro.depdb.records import HardwareDependency
@@ -57,8 +57,7 @@ class HardwareInventoryCollector(DependencyAcquisitionModule):
                 )
             self.servers = list(servers)
 
-    def collect(self) -> list[HardwareDependency]:
-        records = []
+    def stream(self) -> Iterator[HardwareDependency]:
         for server in self.servers:
             components = self.inventory[server]
             if not components:
@@ -66,7 +65,6 @@ class HardwareInventoryCollector(DependencyAcquisitionModule):
                     f"server {server!r} has an empty hardware listing"
                 )
             for component_type, model in components:
-                records.append(
-                    HardwareDependency(hw=server, type=component_type, dep=model)
+                yield HardwareDependency(
+                    hw=server, type=component_type, dep=model
                 )
-        return records

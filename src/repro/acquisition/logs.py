@@ -92,9 +92,9 @@ class LogMiningCollector(DependencyAcquisitionModule):
                 packages[(pkg.group("svc"), pkg.group("pkg"))] += 1
         return calls, packages
 
-    def collect(self):
+    def stream(self):
         calls, packages = self.mine()
-        records: list = []
+        emitted = 0
         # Service-to-service calls become network dependencies between
         # the services' hosts (route = the callee service itself, the
         # component whose failure breaks the edge).
@@ -102,10 +102,9 @@ class LogMiningCollector(DependencyAcquisitionModule):
             if support < self.min_support:
                 continue
             src_host = self._host(src)
-            records.append(
-                NetworkDependency(
-                    src=src_host, dst=self._host(dst), route=(dst,)
-                )
+            emitted += 1
+            yield NetworkDependency(
+                src=src_host, dst=self._host(dst), route=(dst,)
             )
         by_service: dict[str, list[str]] = {}
         for (svc, pkg), support in sorted(packages.items()):
@@ -113,17 +112,15 @@ class LogMiningCollector(DependencyAcquisitionModule):
                 continue
             by_service.setdefault(svc, []).append(pkg)
         for svc, pkgs in by_service.items():
-            records.append(
-                SoftwareDependency(
-                    pgm=svc, hw=self._host(svc), dep=tuple(sorted(pkgs))
-                )
+            emitted += 1
+            yield SoftwareDependency(
+                pgm=svc, hw=self._host(svc), dep=tuple(sorted(pkgs))
             )
-        if not records:
+        if not emitted:
             raise AcquisitionError(
                 f"no dependency reached min_support={self.min_support}; "
                 f"collect more log volume"
             )
-        return records
 
     def _host(self, service: str) -> str:
         try:

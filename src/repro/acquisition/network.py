@@ -16,7 +16,7 @@ from a simulated substrate, in two modes:
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import Iterator, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -83,14 +83,10 @@ class NetworkDependencyCollector(DependencyAcquisitionModule):
             self.topology, server, self.dst, max_routes=self.max_routes
         )
 
-    def collect(self) -> list[NetworkDependency]:
-        records = []
+    def stream(self) -> Iterator[NetworkDependency]:
         for server in self.servers:
             for route in self.routes_for(server):
-                records.append(
-                    NetworkDependency(src=server, dst=self.dst, route=route)
-                )
-        return records
+                yield NetworkDependency(src=server, dst=self.dst, route=route)
 
 
 @register_module("network.traffic")
@@ -121,20 +117,16 @@ class TrafficSampledCollector(NetworkDependencyCollector):
         self.flows_per_server = flows_per_server
         self._rng = np.random.default_rng(seed)
 
-    def collect(self) -> list[NetworkDependency]:
-        records = []
+    def stream(self) -> Iterator[NetworkDependency]:
         for server in self.servers:
             routes = self.routes_for(server)
             picks = self._rng.integers(
                 0, len(routes), size=self.flows_per_server
             )
             for index in sorted(set(picks.tolist())):
-                records.append(
-                    NetworkDependency(
-                        src=server, dst=self.dst, route=routes[index]
-                    )
+                yield NetworkDependency(
+                    src=server, dst=self.dst, route=routes[index]
                 )
-        return records
 
     def discovery_ratio(self) -> float:
         """Fraction of all routes a :meth:`collect` call would observe

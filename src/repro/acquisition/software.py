@@ -8,7 +8,7 @@ interest on each server and emits ``<pgm, hw, dep>`` records.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
 from repro.acquisition.base import DependencyAcquisitionModule, register_module
 from repro.depdb.records import SoftwareDependency
@@ -58,8 +58,7 @@ class SoftwarePackageCollector(DependencyAcquisitionModule):
                         f"the package universe"
                     )
 
-    def collect(self) -> list[SoftwareDependency]:
-        records = []
+    def stream(self) -> Iterator[SoftwareDependency]:
         for server, programs in self.installed.items():
             for program in programs:
                 if self.use_identifiers:
@@ -69,7 +68,6 @@ class SoftwarePackageCollector(DependencyAcquisitionModule):
                 if not deps:
                     # A dependency-free program still exists as a component.
                     deps = [self.universe.get(program).identifier]
-                records.append(
-                    SoftwareDependency(pgm=program, hw=server, dep=tuple(deps))
+                yield SoftwareDependency(
+                    pgm=program, hw=server, dep=tuple(deps)
                 )
-        return records

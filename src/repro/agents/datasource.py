@@ -28,12 +28,15 @@ class DataSource:
         self,
         name: str,
         modules: Iterable[DependencyAcquisitionModule] = (),
+        depdb: Optional[DepDB] = None,
     ) -> None:
         if not name:
             raise AcquisitionError("data source name must be non-empty")
         self.name = name
         self.modules = list(modules)
-        self.depdb = DepDB()
+        # Acquisition streams straight into the given store — pass a
+        # SQLite-backed DepDB to make this source's records durable.
+        self.depdb = depdb if depdb is not None else DepDB()
         self._collected = False
 
     def add_module(self, module: DependencyAcquisitionModule) -> None:

@@ -319,6 +319,18 @@ class ServiceClient:
             self._call_json("GET", f"/v1/jobs/{job_id}")
         )
 
+    def ingest_depdb(self, text: str, tenant: str = "default") -> dict:
+        """POST a DepDB payload (Table-1 text or JSON) into the tenant's
+        server-side store; later audits reference it as ``depdb="@store"``.
+        """
+        path = f"/v1/tenants/{urllib.parse.quote(tenant, safe='')}/depdb"
+        return self._call_json("POST", path, text.encode("utf-8"))
+
+    def depdb_stats(self, tenant: str = "default") -> dict:
+        """Current shape of the tenant's server-side dependency store."""
+        path = f"/v1/tenants/{urllib.parse.quote(tenant, safe='')}/depdb"
+        return self._call_json("GET", path)
+
     def events_after(
         self, job_id: str, after: int = 0, wait: float = 0.0
     ) -> tuple[list, bool]:

@@ -41,6 +41,7 @@ from repro.errors import SpecificationError
 
 __all__ = [
     "SCHEMA_VERSION",
+    "STORE_DEPDB",
     "AuditRequest",
     "AuditReport",
     "JobStatus",
@@ -60,6 +61,11 @@ __all__ = [
 
 #: Version of every JSON document this module emits.
 SCHEMA_VERSION = 1
+
+#: Sentinel ``depdb`` value: audit against the tenant's server-side
+#: dependency store (ingested via the ``/v1/tenants/<t>/depdb`` route)
+#: instead of shipping dependency text in the request.
+STORE_DEPDB = "@store"
 
 #: Legal values of :attr:`JobStatus.state`, in lifecycle order.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")

@@ -6,7 +6,10 @@ Subcommands mirror the evaluation:
 * ``indaas case hardware``   — §6.2.2 hardware case study
 * ``indaas case software``   — §6.2.3 private software audit (Table 2)
 * ``indaas topology``        — Table 3 fat-tree census
-* ``indaas audit``           — SIA audit of a DepDB file
+* ``indaas audit``           — SIA audit of a DepDB file (Table-1 text
+  or a SQLite store; auto-detected)
+* ``indaas db``              — dependency-store maintenance: ``ingest``
+  dumps into a SQLite DepDB, ``stats``, ``snapshot``, ``diff``
 * ``indaas audit-many``      — concurrent audit of a directory of
   deployment specs (engine-backed)
 * ``indaas watch``           — long-running incremental audit of a spec
@@ -71,7 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     audit = sub.add_parser("audit", help="SIA audit over a DepDB file")
-    audit.add_argument("depdb", help="path to a DepDB dump (Table-1 lines)")
+    audit.add_argument(
+        "depdb",
+        help=(
+            "path to a DepDB: a Table-1 line dump or a SQLite store "
+            "(auto-detected; audits are bit-identical either way)"
+        ),
+    )
     audit.add_argument(
         "--servers", required=True,
         help="comma-separated servers of the deployment",
@@ -127,6 +136,59 @@ def build_parser() -> argparse.ArgumentParser:
             "errors, 429/503) with capped exponential backoff; 0 "
             "disables retries (default 4)"
         ),
+    )
+
+    db = sub.add_parser(
+        "db", help="maintain a durable SQLite dependency store"
+    )
+    db_sub = db.add_subparsers(dest="db_command", required=True)
+
+    db_ingest = db_sub.add_parser(
+        "ingest", help="ingest dependency dumps into a SQLite DepDB"
+    )
+    db_ingest.add_argument("database", help="SQLite DepDB (created if missing)")
+    db_ingest.add_argument(
+        "sources", nargs="+",
+        help="dump files to ingest (Table-1 lines or DepDB JSON)",
+    )
+    db_ingest.add_argument(
+        "--batch-size", type=int, default=1024, dest="batch_size",
+        help="records per ingest transaction (default 1024)",
+    )
+
+    db_stats = db_sub.add_parser(
+        "stats", help="record counts, hosts and content hash of a store"
+    )
+    db_stats.add_argument("database", help="SQLite DepDB")
+    db_stats.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+
+    db_snapshot = db_sub.add_parser(
+        "snapshot", help="record a content-addressed snapshot of a store"
+    )
+    db_snapshot.add_argument("database", help="SQLite DepDB")
+    db_snapshot.add_argument(
+        "--label", default="", help="free-form snapshot annotation"
+    )
+
+    db_diff = db_sub.add_parser(
+        "diff",
+        help=(
+            "diff a store against its last snapshot (or a dump file); "
+            "exit 2 when the record sets differ"
+        ),
+    )
+    db_diff.add_argument("database", help="SQLite DepDB")
+    db_diff.add_argument(
+        "--against", default=None, metavar="DUMP",
+        help=(
+            "compare against this dump file (Table-1 lines or DepDB "
+            "JSON) instead of the store's last snapshot"
+        ),
+    )
+    db_diff.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
     )
 
     many = sub.add_parser(
@@ -384,11 +446,37 @@ def _run_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _is_sqlite_file(path: str) -> bool:
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(16).startswith(b"SQLite format 3")
+    except OSError:
+        return False
+
+
+def _load_depdb_text(path: str) -> str:
+    """A DepDB file's records as canonical Table-1 text, whatever the
+    storage.
+
+    Text files are parsed and re-dumped, so a flat dump and a SQLite
+    store holding the same records produce the same text — and
+    therefore the same request fingerprint and byte-identical reports —
+    regardless of comment lines, blank lines or trailing whitespace in
+    the flat file.
+    """
+    from repro.depdb.database import DepDB
+
+    if _is_sqlite_file(path):
+        with DepDB.sqlite(path) as db:
+            return db.dumps()
+    with open(path, encoding="utf-8") as handle:
+        return DepDB.loads(handle.read()).dumps()
+
+
 def _run_audit(args: argparse.Namespace) -> int:
     from repro import api
 
-    with open(args.depdb, encoding="utf-8") as handle:
-        depdb_text = handle.read()
+    depdb_text = _load_depdb_text(args.depdb)
     request = api.AuditRequest(
         servers=_parse_servers(args.servers),
         depdb=depdb_text,
@@ -432,6 +520,134 @@ def _run_audit(args: argparse.Namespace) -> int:
             line += f"  p={entry['probability']:.4g}"
         print(line)
     return 0
+
+
+def _load_dump_records(path: str):
+    """Parse a dump file (Table-1 text or DepDB JSON) into a memory DepDB."""
+    from repro.depdb.database import DepDB
+
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    if text.lstrip().startswith("{"):
+        return DepDB.from_json(text)
+    return DepDB.loads(text)
+
+
+def _run_db(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.depdb import record_key
+    from repro.depdb.database import DepDB
+    from repro.errors import DependencyDataError
+
+    if args.db_command == "ingest":
+        with DepDB.sqlite(args.database) as db:
+            total_added = 0
+            for source in args.sources:
+                source_db = _load_dump_records(source)
+                added = db.ingest(
+                    source_db.iter_records(), batch_size=args.batch_size
+                )
+                total_added += added
+                print(f"{source}: {len(source_db)} records, {added} new")
+            counts = db.counts()
+            print(
+                f"{args.database}: +{total_added} -> "
+                f"network={counts['network']} hardware={counts['hardware']} "
+                f"software={counts['software']} (total {len(db)})"
+            )
+        return 0
+
+    if not _is_sqlite_file(args.database):
+        raise DependencyDataError(
+            f"{args.database} is not a SQLite DepDB store "
+            f"(create one with `indaas db ingest`)"
+        )
+
+    if args.db_command == "stats":
+        with DepDB.sqlite(args.database) as db:
+            last = db.last_snapshot()
+            stats = {
+                "database": args.database,
+                "counts": db.counts(),
+                "total": len(db),
+                "hosts": len(db.hosts()),
+                "content_hash": db.content_hash(),
+                "snapshots": len(db.snapshots()),
+                "last_snapshot": None if last is None else last.to_dict(),
+            }
+        if args.json:
+            print(json.dumps(stats, sort_keys=True))
+            return 0
+        print(f"{args.database}:")
+        for kind, count in stats["counts"].items():
+            print(f"  {kind:<10} {count:>8}")
+        print(f"  {'total':<10} {stats['total']:>8}")
+        print(f"  hosts: {stats['hosts']}")
+        print(f"  content hash: {stats['content_hash']}")
+        if last is None:
+            print("  snapshots: none")
+        else:
+            print(
+                f"  snapshots: {stats['snapshots']} "
+                f"(last: seq={last.seq} digest={last.digest[:12]}...)"
+            )
+        return 0
+
+    if args.db_command == "snapshot":
+        with DepDB.sqlite(args.database) as db:
+            snap = db.snapshot(args.label)
+        print(
+            f"snapshot seq={snap.seq} digest={snap.digest} "
+            f"({snap.total} records)"
+        )
+        return 0
+
+    # diff: current store state vs its last snapshot or a dump file.
+    with DepDB.sqlite(args.database) as db:
+        current = db.content_hash()
+        if args.against is not None:
+            reference_db = _load_dump_records(args.against)
+            reference = reference_db.content_hash()
+            store_keys = {record_key(r) for r in db.iter_records()}
+            ref_keys = {record_key(r) for r in reference_db.iter_records()}
+            detail = {
+                "only_in_store": len(store_keys - ref_keys),
+                "only_in_reference": len(ref_keys - store_keys),
+            }
+            reference_name = args.against
+        else:
+            last = db.last_snapshot()
+            if last is None:
+                raise DependencyDataError(
+                    f"{args.database} has no snapshots to diff against; "
+                    f"run `indaas db snapshot` first or pass --against"
+                )
+            reference = last.digest
+            detail = {"snapshot_seq": last.seq, "snapshot_label": last.label}
+            reference_name = f"snapshot #{last.seq}"
+        changed = current != reference
+    outcome = {
+        "database": args.database,
+        "reference": reference_name,
+        "content_hash": current,
+        "reference_hash": reference,
+        "changed": changed,
+        **detail,
+    }
+    if args.json:
+        print(json.dumps(outcome, sort_keys=True))
+    elif changed:
+        extras = ", ".join(
+            f"{k}={v}" for k, v in detail.items() if k.startswith("only_in")
+        )
+        print(
+            f"{args.database} differs from {reference_name}"
+            + (f" ({extras})" if extras else "")
+        )
+    else:
+        print(f"{args.database} matches {reference_name} (no drift)")
+    return 2 if changed else 0
 
 
 def _run_audit_many(args: argparse.Namespace) -> int:
@@ -504,10 +720,8 @@ def _run_drift(args: argparse.Namespace) -> int:
     from repro.depdb.database import DepDB
     from repro.failures import uniform_weigher
 
-    with open(args.before, encoding="utf-8") as handle:
-        before = DepDB.loads(handle.read())
-    with open(args.after, encoding="utf-8") as handle:
-        after = DepDB.loads(handle.read())
+    before = DepDB.loads(_load_depdb_text(args.before))
+    after = DepDB.loads(_load_depdb_text(args.after))
     servers = _parse_servers(args.servers)
     weigher = (
         uniform_weigher(args.probability)
@@ -533,8 +747,7 @@ def _run_importance(args: argparse.Namespace) -> int:
     from repro.depdb.database import DepDB
     from repro.failures import uniform_weigher
 
-    with open(args.depdb, encoding="utf-8") as handle:
-        depdb = DepDB.loads(handle.read())
+    depdb = DepDB.loads(_load_depdb_text(args.depdb))
     servers = _parse_servers(args.servers)
     auditor = SIAAuditor(depdb, weigher=uniform_weigher(args.probability))
     graph = auditor.build_graph(
@@ -556,8 +769,7 @@ def _run_plan(args: argparse.Namespace) -> int:
     from repro.engine import AuditEngine
     from repro.failures import uniform_weigher
 
-    with open(args.depdb, encoding="utf-8") as handle:
-        depdb = DepDB.loads(handle.read())
+    depdb = DepDB.loads(_load_depdb_text(args.depdb))
     servers = _parse_servers(args.servers)
     engine = AuditEngine(n_workers=args.workers) if args.workers else None
     auditor = SIAAuditor(
@@ -729,6 +941,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_topology(args)
         if args.command == "audit":
             return _run_audit(args)
+        if args.command == "db":
+            return _run_db(args)
         if args.command == "audit-many":
             return _run_audit_many(args)
         if args.command == "watch":

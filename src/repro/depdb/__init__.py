@@ -1,22 +1,43 @@
 """Dependency data layer: Table-1 records, XML codec, and the DepDB store."""
 
+from repro.depdb.backend import (
+    DepDBBackend,
+    Snapshot,
+    record_key,
+    records_digest,
+)
 from repro.depdb.database import DepDB
+from repro.depdb.memory import MemoryBackend
 from repro.depdb.records import (
     DependencyRecord,
     HardwareDependency,
     NetworkDependency,
     SoftwareDependency,
 )
-from repro.depdb.xmlformat import dump_record, dumps, loads, parse_line
+from repro.depdb.sqlite import SQLiteBackend
+from repro.depdb.xmlformat import (
+    dump_record,
+    dumps,
+    iter_records,
+    loads,
+    parse_line,
+)
 
 __all__ = [
     "DepDB",
+    "DepDBBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "Snapshot",
     "DependencyRecord",
     "HardwareDependency",
     "NetworkDependency",
     "SoftwareDependency",
     "dump_record",
     "dumps",
+    "iter_records",
     "loads",
     "parse_line",
+    "record_key",
+    "records_digest",
 ]

@@ -2,17 +2,29 @@
 
 Dependency acquisition modules store their adapted records here; the
 auditing agent later queries it while building dependency graphs
-(§4.1.1 Steps 2–6).  The store is in-memory with secondary indices for the
-exact query shapes the builder needs, plus text/JSON persistence so
-acquired data can be shipped from data sources to the agent.
+(§4.1.1 Steps 2–6).  ``DepDB`` is a thin facade over a pluggable
+:class:`~repro.depdb.backend.DepDBBackend`:
+
+* the default :class:`~repro.depdb.memory.MemoryBackend` keeps the
+  original indexed in-memory behaviour;
+* :meth:`DepDB.sqlite` opens a durable
+  :class:`~repro.depdb.sqlite.SQLiteBackend` store whose query results
+  — and therefore every audit built from them — are bit-identical to
+  the memory path (the parity contract in ``tests/depdb``).
+
+Text/JSON persistence (Table-1 dumps) rides on top of either backend so
+acquired data can be shipped from data sources to the agent; stores
+additionally carry content-addressed snapshots so the incremental audit
+layer can prove whether anything drifted since the last audit.
 """
 
 from __future__ import annotations
 
 import json
-from collections import defaultdict
-from typing import Iterable, Optional
+from itertools import islice
+from typing import Iterable, Iterator, Optional, Union
 
+from repro.depdb.backend import DepDBBackend, Snapshot
 from repro.depdb.records import (
     DependencyRecord,
     HardwareDependency,
@@ -24,21 +36,95 @@ from repro.errors import DependencyDataError
 
 __all__ = ["DepDB"]
 
+#: JSON persistence sections, with their required fields and types.
+_JSON_FIELDS = {
+    "network": (("src", str), ("dst", str), ("route", list)),
+    "hardware": (("hw", str), ("type", str), ("dep", str)),
+    "software": (("pgm", str), ("hw", str), ("dep", list)),
+}
+
+
+def _record_from_json(kind: str, index: int, item) -> DependencyRecord:
+    """Validate one JSON entry and build its typed record.
+
+    Raises a :class:`DependencyDataError` naming the offending record —
+    never a raw ``KeyError``/``TypeError`` from a malformed document.
+    """
+    where = f"{kind} entry #{index}"
+    if not isinstance(item, dict):
+        raise DependencyDataError(
+            f"{where} must be an object, got {type(item).__name__}: {item!r}"
+        )
+    values = {}
+    for name, expected in _JSON_FIELDS[kind]:
+        if name not in item:
+            raise DependencyDataError(
+                f"{where} is missing required field {name!r}: {item!r}"
+            )
+        value = item[name]
+        if not isinstance(value, expected):
+            raise DependencyDataError(
+                f"{where} field {name!r} must be {expected.__name__}, "
+                f"got {type(value).__name__}: {item!r}"
+            )
+        if expected is list and not all(
+            isinstance(element, str) for element in value
+        ):
+            raise DependencyDataError(
+                f"{where} field {name!r} must be a list of strings: {item!r}"
+            )
+        values[name] = value
+    try:
+        if kind == "network":
+            return NetworkDependency(
+                src=values["src"],
+                dst=values["dst"],
+                route=tuple(values["route"]),
+            )
+        if kind == "hardware":
+            return HardwareDependency(
+                hw=values["hw"], type=values["type"], dep=values["dep"]
+            )
+        return SoftwareDependency(
+            pgm=values["pgm"], hw=values["hw"], dep=tuple(values["dep"])
+        )
+    except DependencyDataError as exc:
+        # Field-level validation from the record types (empty strings,
+        # empty route hops) — re-raise with the record named.
+        raise DependencyDataError(f"{where}: {exc}") from exc
+
 
 class DepDB:
-    """Indexed store of network / hardware / software dependency records."""
+    """Indexed store of network / hardware / software dependency records.
 
-    def __init__(self, records: Optional[Iterable[DependencyRecord]] = None):
-        self._network: list[NetworkDependency] = []
-        self._hardware: list[HardwareDependency] = []
-        self._software: list[SoftwareDependency] = []
-        self._net_by_src: dict[str, list[NetworkDependency]] = defaultdict(list)
-        self._hw_by_host: dict[str, list[HardwareDependency]] = defaultdict(list)
-        self._sw_by_host: dict[str, list[SoftwareDependency]] = defaultdict(list)
-        self._sw_by_pgm: dict[str, list[SoftwareDependency]] = defaultdict(list)
-        self._seen: set[DependencyRecord] = set()
+    Args:
+        records: Optional initial records to ingest.
+        backend: Storage backend (default: a fresh in-memory store).
+    """
+
+    def __init__(
+        self,
+        records: Optional[Iterable[DependencyRecord]] = None,
+        backend: Optional[DepDBBackend] = None,
+    ):
+        if backend is None:
+            from repro.depdb.memory import MemoryBackend
+
+            backend = MemoryBackend()
+        self.backend = backend
         if records:
             self.add_all(records)
+
+    @classmethod
+    def sqlite(
+        cls,
+        path: Union[str, "Path"] = ":memory:",  # noqa: F821
+        records: Optional[Iterable[DependencyRecord]] = None,
+    ) -> "DepDB":
+        """Open (or create) a durable SQLite-backed DepDB."""
+        from repro.depdb.sqlite import SQLiteBackend
+
+        return cls(records=records, backend=SQLiteBackend(path))
 
     # ------------------------------------------------------------------ #
     # Ingest
@@ -46,32 +132,36 @@ class DepDB:
 
     def add(self, record: DependencyRecord) -> bool:
         """Insert one record; returns False for exact duplicates."""
-        if record in self._seen:
-            return False
-        if isinstance(record, NetworkDependency):
-            self._network.append(record)
-            self._net_by_src[record.src].append(record)
-        elif isinstance(record, HardwareDependency):
-            self._hardware.append(record)
-            self._hw_by_host[record.hw].append(record)
-        elif isinstance(record, SoftwareDependency):
-            self._software.append(record)
-            self._sw_by_host[record.hw].append(record)
-            self._sw_by_pgm[record.pgm].append(record)
-        else:
-            raise DependencyDataError(
-                f"unsupported record type {type(record).__name__}"
-            )
-        self._seen.add(record)
-        return True
+        return self.backend.add(record)
 
     def add_all(self, records: Iterable[DependencyRecord]) -> int:
         """Insert many records; returns how many were new."""
-        return sum(1 for r in records if self.add(r))
+        return self.ingest(records)
+
+    def ingest(
+        self, records: Iterable[DependencyRecord], batch_size: int = 1024
+    ) -> int:
+        """Stream records in, committing one transaction per batch.
+
+        The streaming entry point of the acquisition layer: the source
+        may be an unbounded generator — at most ``batch_size`` records
+        are materialised at a time.  Returns how many were new.
+        """
+        if batch_size < 1:
+            raise DependencyDataError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        added = 0
+        iterator = iter(records)
+        while True:
+            batch = list(islice(iterator, batch_size))
+            if not batch:
+                return added
+            added += self.backend.add_many(batch)
 
     def merge(self, other: "DepDB") -> int:
         """Absorb another DepDB (e.g. one per data source)."""
-        return self.add_all(other.records())
+        return self.ingest(other.iter_records())
 
     # ------------------------------------------------------------------ #
     # Queries used by the dependency-graph builder
@@ -81,20 +171,14 @@ class DepDB:
         self, src: str, dst: Optional[str] = None
     ) -> list[NetworkDependency]:
         """All redundant routes out of ``src`` (optionally towards ``dst``)."""
-        paths = self._net_by_src.get(src, [])
-        if dst is None:
-            return list(paths)
-        return [p for p in paths if p.dst == dst]
+        return self.backend.network_paths(src, dst)
 
     def network_destinations(self, src: str) -> list[str]:
         """Distinct destinations reachable from ``src``, insertion order."""
-        seen: dict[str, None] = {}
-        for record in self._net_by_src.get(src, []):
-            seen.setdefault(record.dst, None)
-        return list(seen)
+        return self.backend.network_destinations(src)
 
     def hardware_of(self, host: str) -> list[HardwareDependency]:
-        return list(self._hw_by_host.get(host, []))
+        return self.backend.hardware_of(host)
 
     def software_on(
         self, host: str, programs: Optional[Iterable[str]] = None
@@ -105,38 +189,32 @@ class DepDB:
         software components of interest (§3); pass them as ``programs``
         to filter, or omit to return everything acquired on that host.
         """
-        records = self._sw_by_host.get(host, [])
-        if programs is None:
-            return list(records)
-        wanted = set(programs)
-        return [r for r in records if r.pgm in wanted]
+        return self.backend.software_on(host, programs)
 
     def software_named(self, pgm: str) -> list[SoftwareDependency]:
-        return list(self._sw_by_pgm.get(pgm, []))
+        return self.backend.software_named(pgm)
 
     def hosts(self) -> list[str]:
-        """Every host that has at least one record of any type."""
-        seen: dict[str, None] = {}
-        for name in (
-            list(self._net_by_src)
-            + list(self._hw_by_host)
-            + list(self._sw_by_host)
-        ):
-            seen.setdefault(name, None)
-        return list(seen)
+        """Every host that at least one record mentions.
+
+        Network *destinations* count: a host that only ever appears as
+        a ``dst`` (an edge service, the Internet gateway) is still part
+        of the deployment's dependency surface.
+        """
+        return self.backend.hosts()
 
     def records(self) -> list[DependencyRecord]:
-        return [*self._network, *self._hardware, *self._software]
+        return self.backend.records()
+
+    def iter_records(self) -> Iterator[DependencyRecord]:
+        """Lazy :meth:`records` — same records, same order."""
+        return self.backend.iter_records()
 
     def counts(self) -> dict[str, int]:
-        return {
-            "network": len(self._network),
-            "hardware": len(self._hardware),
-            "software": len(self._software),
-        }
+        return self.backend.counts()
 
     def __len__(self) -> int:
-        return len(self._seen)
+        return len(self.backend)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         c = self.counts()
@@ -146,58 +224,115 @@ class DepDB:
         )
 
     # ------------------------------------------------------------------ #
+    # Content addressing and snapshots
+    # ------------------------------------------------------------------ #
+
+    def content_hash(self) -> str:
+        """Order-independent digest of the current record set."""
+        return self.backend.content_hash()
+
+    def snapshot(self, label: str = "") -> Snapshot:
+        """Record the current record set as a content-addressed snapshot."""
+        return self.backend.snapshot(label)
+
+    def snapshots(self) -> list[Snapshot]:
+        return self.backend.snapshots()
+
+    def last_snapshot(self) -> Optional[Snapshot]:
+        return self.backend.last_snapshot()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; no-op for memory)."""
+        self.backend.close()
+
+    def __enter__(self) -> "DepDB":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __reduce__(self):
+        # Worker processes need the records, not the storage: rebuild as
+        # a memory-backed store (SQLite connections do not pickle; the
+        # parity contract makes the substitution invisible).
+        return (_rebuild, (tuple(self.iter_records()),))
+
+    # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
 
     def dumps(self) -> str:
         """Serialise all records in the Table-1 line format."""
-        return xmlformat.dumps(self.records())
+        return xmlformat.dumps(self.iter_records())
 
     @classmethod
-    def loads(cls, text: str) -> "DepDB":
-        return cls(xmlformat.loads(text))
+    def loads(
+        cls, text: str, backend: Optional[DepDBBackend] = None
+    ) -> "DepDB":
+        db = cls(backend=backend)
+        db.ingest(xmlformat.iter_records(text))
+        return db
 
     def to_json(self) -> str:
         """JSON persistence (stable across versions, unlike repr)."""
-        payload = {
-            "network": [
-                {"src": r.src, "dst": r.dst, "route": list(r.route)}
-                for r in self._network
-            ],
-            "hardware": [
-                {"hw": r.hw, "type": r.type, "dep": r.dep}
-                for r in self._hardware
-            ],
-            "software": [
-                {"pgm": r.pgm, "hw": r.hw, "dep": list(r.dep)}
-                for r in self._software
-            ],
-        }
+        payload: dict = {"network": [], "hardware": [], "software": []}
+        for record in self.iter_records():
+            if isinstance(record, NetworkDependency):
+                payload["network"].append(
+                    {
+                        "src": record.src,
+                        "dst": record.dst,
+                        "route": list(record.route),
+                    }
+                )
+            elif isinstance(record, HardwareDependency):
+                payload["hardware"].append(
+                    {"hw": record.hw, "type": record.type, "dep": record.dep}
+                )
+            else:
+                payload["software"].append(
+                    {
+                        "pgm": record.pgm,
+                        "hw": record.hw,
+                        "dep": list(record.dep),
+                    }
+                )
         return json.dumps(payload, indent=2)
 
     @classmethod
-    def from_json(cls, text: str) -> "DepDB":
+    def from_json(
+        cls, text: str, backend: Optional[DepDBBackend] = None
+    ) -> "DepDB":
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
             raise DependencyDataError(f"invalid DepDB JSON: {exc}") from exc
-        db = cls()
-        for item in payload.get("network", []):
-            db.add(
-                NetworkDependency(
-                    src=item["src"], dst=item["dst"], route=tuple(item["route"])
-                )
+        if not isinstance(payload, dict):
+            raise DependencyDataError(
+                "DepDB JSON must be an object with network/hardware/"
+                f"software lists, got {type(payload).__name__}"
             )
-        for item in payload.get("hardware", []):
-            db.add(
-                HardwareDependency(
-                    hw=item["hw"], type=item["type"], dep=item["dep"]
-                )
-            )
-        for item in payload.get("software", []):
-            db.add(
-                SoftwareDependency(
-                    pgm=item["pgm"], hw=item["hw"], dep=tuple(item["dep"])
-                )
-            )
+
+        def build() -> Iterator[DependencyRecord]:
+            for kind in _JSON_FIELDS:
+                items = payload.get(kind, [])
+                if not isinstance(items, list):
+                    raise DependencyDataError(
+                        f"DepDB JSON {kind!r} must be a list, "
+                        f"got {type(items).__name__}"
+                    )
+                for index, item in enumerate(items):
+                    yield _record_from_json(kind, index, item)
+
+        db = cls(backend=backend)
+        db.ingest(build())
         return db
+
+
+def _rebuild(records: tuple) -> DepDB:
+    """Unpickle target: a memory-backed DepDB over the same records."""
+    return DepDB(records)

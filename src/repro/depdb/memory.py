@@ -1,0 +1,148 @@
+"""The in-memory DepDB backend (the original store, extracted).
+
+Secondary indices cover the exact query shapes the dependency-graph
+builder needs (§4.1.1 Steps 2–6); everything lives in plain dicts and
+lists, so this backend is also what :class:`~repro.depdb.DepDB` pickles
+down to when an audit fans out across worker processes.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from typing import Iterable, Iterator, Optional
+
+from repro.depdb.backend import DepDBBackend, Snapshot
+from repro.depdb.records import (
+    DependencyRecord,
+    HardwareDependency,
+    NetworkDependency,
+    SoftwareDependency,
+)
+from repro.errors import DependencyDataError
+
+__all__ = ["MemoryBackend"]
+
+
+class MemoryBackend(DepDBBackend):
+    """Indexed in-memory store of dependency records."""
+
+    def __init__(self) -> None:
+        self._network: list[NetworkDependency] = []
+        self._hardware: list[HardwareDependency] = []
+        self._software: list[SoftwareDependency] = []
+        self._net_by_src: dict[str, list[NetworkDependency]] = defaultdict(list)
+        self._net_by_dst: dict[str, list[NetworkDependency]] = defaultdict(list)
+        self._hw_by_host: dict[str, list[HardwareDependency]] = defaultdict(list)
+        self._sw_by_host: dict[str, list[SoftwareDependency]] = defaultdict(list)
+        self._sw_by_pgm: dict[str, list[SoftwareDependency]] = defaultdict(list)
+        self._seen: set[DependencyRecord] = set()
+        self._snapshots: list[Snapshot] = []
+        self._snapshot_seq = 0
+
+    # ------------------------------ ingest ----------------------------- #
+
+    def add(self, record: DependencyRecord) -> bool:
+        if record in self._seen:
+            return False
+        if isinstance(record, NetworkDependency):
+            self._network.append(record)
+            self._net_by_src[record.src].append(record)
+            self._net_by_dst[record.dst].append(record)
+        elif isinstance(record, HardwareDependency):
+            self._hardware.append(record)
+            self._hw_by_host[record.hw].append(record)
+        elif isinstance(record, SoftwareDependency):
+            self._software.append(record)
+            self._sw_by_host[record.hw].append(record)
+            self._sw_by_pgm[record.pgm].append(record)
+        else:
+            raise DependencyDataError(
+                f"unsupported record type {type(record).__name__}"
+            )
+        self._seen.add(record)
+        return True
+
+    # ------------------------------ queries ---------------------------- #
+
+    def records(self) -> list[DependencyRecord]:
+        return [*self._network, *self._hardware, *self._software]
+
+    def iter_records(self) -> Iterator[DependencyRecord]:
+        yield from self._network
+        yield from self._hardware
+        yield from self._software
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "network": len(self._network),
+            "hardware": len(self._hardware),
+            "software": len(self._software),
+        }
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def network_paths(
+        self, src: str, dst: Optional[str] = None
+    ) -> list[NetworkDependency]:
+        paths = self._net_by_src.get(src, [])
+        if dst is None:
+            return list(paths)
+        return [p for p in paths if p.dst == dst]
+
+    def network_destinations(self, src: str) -> list[str]:
+        seen: dict[str, None] = {}
+        for record in self._net_by_src.get(src, []):
+            seen.setdefault(record.dst, None)
+        return list(seen)
+
+    def hardware_of(self, host: str) -> list[HardwareDependency]:
+        return list(self._hw_by_host.get(host, []))
+
+    def software_on(
+        self, host: str, programs: Optional[Iterable[str]] = None
+    ) -> list[SoftwareDependency]:
+        records = self._sw_by_host.get(host, [])
+        if programs is None:
+            return list(records)
+        wanted = set(programs)
+        return [r for r in records if r.pgm in wanted]
+
+    def software_named(self, pgm: str) -> list[SoftwareDependency]:
+        return list(self._sw_by_pgm.get(pgm, []))
+
+    def hosts(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for name in (
+            list(self._net_by_src)
+            + list(self._net_by_dst)
+            + list(self._hw_by_host)
+            + list(self._sw_by_host)
+        ):
+            seen.setdefault(name, None)
+        return list(seen)
+
+    # ------------------------------ snapshots -------------------------- #
+
+    def snapshot(self, label: str = "") -> Snapshot:
+        digest = self.content_hash()
+        counts = self.counts()
+        self._snapshot_seq += 1
+        snap = Snapshot(
+            digest=digest,
+            label=label,
+            seq=self._snapshot_seq,
+            created=time.time(),
+            counts=(counts["network"], counts["hardware"], counts["software"]),
+        )
+        self._snapshots = [
+            s for s in self._snapshots if s.digest != digest
+        ] + [snap]
+        return snap
+
+    def snapshots(self) -> list[Snapshot]:
+        return list(self._snapshots)
+
+    def last_snapshot(self) -> Optional[Snapshot]:
+        return self._snapshots[-1] if self._snapshots else None

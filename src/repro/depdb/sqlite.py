@@ -1,0 +1,372 @@
+"""Durable SQLite DepDB backend (stdlib ``sqlite3`` only).
+
+Production dependency sets drift continuously and outlive any one
+process, so the store must too.  This backend keeps the three Table-1
+record types in indexed per-type tables:
+
+* ``network (id, src, dst, route)`` — ``route`` is a JSON array, so a
+  hop containing a comma can never be confused with two hops;
+* ``hardware (id, hw, type, dep)``;
+* ``software (id, pgm, hw, dep)`` — ``dep`` is a JSON array.
+
+Each table carries a UNIQUE constraint over its payload columns, so
+dedup is ``INSERT OR IGNORE`` — the same exact-equality semantics as
+the in-memory store.  ``id`` (the rowid) preserves insertion order;
+records are never deleted, so id order *is* first-insertion order and
+every query replays the memory backend's ordering contract exactly.
+
+The ``snapshots`` table is content-addressed by the record-set hash
+(:func:`~repro.depdb.backend.records_digest`): one row per distinct
+store state ever audited, re-sequenced in place when an unchanged store
+is snapshotted again.  :meth:`~repro.engine.incremental.
+DeltaAuditEngine.audit_store` compares the live hash against
+``last_snapshot`` to prove whether anything drifted since the last
+audit.
+
+Writes run in WAL mode with batched transactions
+(:meth:`SQLiteBackend.add_many` wraps a whole batch in one commit); a
+process-wide lock serialises access to the single shared connection, so
+one backend instance is safe to use from the service's worker threads.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.depdb.backend import DepDBBackend, Snapshot
+from repro.depdb.records import (
+    DependencyRecord,
+    HardwareDependency,
+    NetworkDependency,
+    SoftwareDependency,
+)
+from repro.errors import DependencyDataError
+
+__all__ = ["SQLiteBackend"]
+
+#: Bumped only on incompatible schema changes.
+_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS network (
+    id INTEGER PRIMARY KEY,
+    src TEXT NOT NULL,
+    dst TEXT NOT NULL,
+    route TEXT NOT NULL,
+    UNIQUE (src, dst, route)
+);
+CREATE INDEX IF NOT EXISTS idx_network_src ON network (src);
+CREATE INDEX IF NOT EXISTS idx_network_dst ON network (dst);
+CREATE TABLE IF NOT EXISTS hardware (
+    id INTEGER PRIMARY KEY,
+    hw TEXT NOT NULL,
+    type TEXT NOT NULL,
+    dep TEXT NOT NULL,
+    UNIQUE (hw, type, dep)
+);
+CREATE INDEX IF NOT EXISTS idx_hardware_hw ON hardware (hw);
+CREATE TABLE IF NOT EXISTS software (
+    id INTEGER PRIMARY KEY,
+    pgm TEXT NOT NULL,
+    hw TEXT NOT NULL,
+    dep TEXT NOT NULL,
+    UNIQUE (pgm, hw, dep)
+);
+CREATE INDEX IF NOT EXISTS idx_software_hw ON software (hw);
+CREATE INDEX IF NOT EXISTS idx_software_pgm ON software (pgm);
+CREATE TABLE IF NOT EXISTS snapshots (
+    digest TEXT PRIMARY KEY,
+    label TEXT NOT NULL DEFAULT '',
+    seq INTEGER NOT NULL,
+    created REAL NOT NULL,
+    network INTEGER NOT NULL,
+    hardware INTEGER NOT NULL,
+    software INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+def _pack(items: Iterable[str]) -> str:
+    return json.dumps(list(items), separators=(",", ":"))
+
+
+def _unpack(text: str) -> tuple[str, ...]:
+    return tuple(json.loads(text))
+
+
+class SQLiteBackend(DepDBBackend):
+    """Durable, indexed DepDB store on one SQLite database file.
+
+    Args:
+        path: Database file (created if missing) or ``":memory:"`` for
+            an ephemeral store with the same semantics.
+        timeout: Seconds to wait on a locked database file.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path] = ":memory:",
+        *,
+        timeout: float = 30.0,
+    ) -> None:
+        self.path = str(path)
+        self._lock = threading.RLock()
+        self._closed = False
+        try:
+            self._conn = sqlite3.connect(
+                self.path, timeout=timeout, check_same_thread=False
+            )
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            with self._conn:
+                self._conn.executescript(_SCHEMA)
+                row = self._conn.execute(
+                    "SELECT value FROM meta WHERE key = 'schema_version'"
+                ).fetchone()
+                if row is None:
+                    self._conn.execute(
+                        "INSERT INTO meta (key, value) VALUES "
+                        "('schema_version', ?)",
+                        (str(_SCHEMA_VERSION),),
+                    )
+                elif row[0] != str(_SCHEMA_VERSION):
+                    raise DependencyDataError(
+                        f"DepDB database {self.path} has schema version "
+                        f"{row[0]}; this build speaks {_SCHEMA_VERSION}"
+                    )
+        except sqlite3.Error as exc:
+            raise DependencyDataError(
+                f"cannot open DepDB database {self.path}: {exc}"
+            ) from exc
+
+    # ----------------------------- plumbing ---------------------------- #
+
+    def _execute(self, sql: str, params: tuple = ()):
+        if self._closed:
+            raise DependencyDataError(
+                f"DepDB database {self.path} is closed"
+            )
+        try:
+            return self._conn.execute(sql, params)
+        except sqlite3.Error as exc:
+            raise DependencyDataError(
+                f"DepDB database {self.path}: {exc}"
+            ) from exc
+
+    def _insert(self, record: DependencyRecord) -> int:
+        if isinstance(record, NetworkDependency):
+            cursor = self._execute(
+                "INSERT OR IGNORE INTO network (src, dst, route) "
+                "VALUES (?, ?, ?)",
+                (record.src, record.dst, _pack(record.route)),
+            )
+        elif isinstance(record, HardwareDependency):
+            cursor = self._execute(
+                "INSERT OR IGNORE INTO hardware (hw, type, dep) "
+                "VALUES (?, ?, ?)",
+                (record.hw, record.type, record.dep),
+            )
+        elif isinstance(record, SoftwareDependency):
+            cursor = self._execute(
+                "INSERT OR IGNORE INTO software (pgm, hw, dep) "
+                "VALUES (?, ?, ?)",
+                (record.pgm, record.hw, _pack(record.dep)),
+            )
+        else:
+            raise DependencyDataError(
+                f"unsupported record type {type(record).__name__}"
+            )
+        return cursor.rowcount
+
+    # ------------------------------ ingest ----------------------------- #
+
+    def add(self, record: DependencyRecord) -> bool:
+        with self._lock, self._conn:
+            return self._insert(record) == 1
+
+    def add_many(self, records: Iterable[DependencyRecord]) -> int:
+        """Insert a batch inside one transaction; returns the new count."""
+        with self._lock, self._conn:
+            return sum(self._insert(record) for record in records)
+
+    # ------------------------------ queries ---------------------------- #
+
+    def _select_network(
+        self, where: str = "", params: tuple = ()
+    ) -> list[NetworkDependency]:
+        with self._lock:
+            rows = self._execute(
+                f"SELECT src, dst, route FROM network {where} ORDER BY id",
+                params,
+            ).fetchall()
+        return [
+            NetworkDependency(src=src, dst=dst, route=_unpack(route))
+            for src, dst, route in rows
+        ]
+
+    def _select_hardware(
+        self, where: str = "", params: tuple = ()
+    ) -> list[HardwareDependency]:
+        with self._lock:
+            rows = self._execute(
+                f"SELECT hw, type, dep FROM hardware {where} ORDER BY id",
+                params,
+            ).fetchall()
+        return [
+            HardwareDependency(hw=hw, type=type_, dep=dep)
+            for hw, type_, dep in rows
+        ]
+
+    def _select_software(
+        self, where: str = "", params: tuple = ()
+    ) -> list[SoftwareDependency]:
+        with self._lock:
+            rows = self._execute(
+                f"SELECT pgm, hw, dep FROM software {where} ORDER BY id",
+                params,
+            ).fetchall()
+        return [
+            SoftwareDependency(pgm=pgm, hw=hw, dep=_unpack(dep))
+            for pgm, hw, dep in rows
+        ]
+
+    def records(self) -> list[DependencyRecord]:
+        return [
+            *self._select_network(),
+            *self._select_hardware(),
+            *self._select_software(),
+        ]
+
+    def iter_records(self) -> Iterator[DependencyRecord]:
+        yield from self._select_network()
+        yield from self._select_hardware()
+        yield from self._select_software()
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                table: self._execute(
+                    f"SELECT COUNT(*) FROM {table}"
+                ).fetchone()[0]
+                for table in ("network", "hardware", "software")
+            }
+
+    def network_paths(
+        self, src: str, dst: Optional[str] = None
+    ) -> list[NetworkDependency]:
+        if dst is None:
+            return self._select_network("WHERE src = ?", (src,))
+        return self._select_network("WHERE src = ? AND dst = ?", (src, dst))
+
+    def network_destinations(self, src: str) -> list[str]:
+        with self._lock:
+            rows = self._execute(
+                "SELECT dst FROM network WHERE src = ? ORDER BY id", (src,)
+            ).fetchall()
+        return list(dict.fromkeys(dst for (dst,) in rows))
+
+    def hardware_of(self, host: str) -> list[HardwareDependency]:
+        return self._select_hardware("WHERE hw = ?", (host,))
+
+    def software_on(
+        self, host: str, programs: Optional[Iterable[str]] = None
+    ) -> list[SoftwareDependency]:
+        records = self._select_software("WHERE hw = ?", (host,))
+        if programs is None:
+            return records
+        wanted = set(programs)
+        return [r for r in records if r.pgm in wanted]
+
+    def software_named(self, pgm: str) -> list[SoftwareDependency]:
+        return self._select_software("WHERE pgm = ?", (pgm,))
+
+    def hosts(self) -> list[str]:
+        with self._lock:
+            names: list[str] = []
+            for sql in (
+                "SELECT src FROM network ORDER BY id",
+                "SELECT dst FROM network ORDER BY id",
+                "SELECT hw FROM hardware ORDER BY id",
+                "SELECT hw FROM software ORDER BY id",
+            ):
+                names.extend(name for (name,) in self._execute(sql))
+        return list(dict.fromkeys(names))
+
+    # ------------------------------ snapshots -------------------------- #
+
+    def snapshot(self, label: str = "") -> Snapshot:
+        digest = self.content_hash()
+        counts = self.counts()
+        created = time.time()
+        with self._lock, self._conn:
+            seq = (
+                self._execute(
+                    "SELECT COALESCE(MAX(seq), 0) FROM snapshots"
+                ).fetchone()[0]
+                + 1
+            )
+            self._execute(
+                "INSERT INTO snapshots "
+                "(digest, label, seq, created, network, hardware, software) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT (digest) DO UPDATE SET "
+                "label = excluded.label, seq = excluded.seq, "
+                "created = excluded.created",
+                (
+                    digest,
+                    label,
+                    seq,
+                    created,
+                    counts["network"],
+                    counts["hardware"],
+                    counts["software"],
+                ),
+            )
+        return Snapshot(
+            digest=digest,
+            label=label,
+            seq=seq,
+            created=created,
+            counts=(counts["network"], counts["hardware"], counts["software"]),
+        )
+
+    def _snapshot_rows(self, suffix: str = "") -> list[Snapshot]:
+        with self._lock:
+            rows = self._execute(
+                "SELECT digest, label, seq, created, network, hardware, "
+                f"software FROM snapshots ORDER BY seq {suffix}"
+            ).fetchall()
+        return [
+            Snapshot(
+                digest=digest,
+                label=label,
+                seq=seq,
+                created=created,
+                counts=(network, hardware, software),
+            )
+            for digest, label, seq, created, network, hardware, software in rows
+        ]
+
+    def snapshots(self) -> list[Snapshot]:
+        return self._snapshot_rows()
+
+    def last_snapshot(self) -> Optional[Snapshot]:
+        rows = self._snapshot_rows("DESC LIMIT 1")
+        return rows[0] if rows else None
+
+    # ------------------------------ lifecycle -------------------------- #
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._conn.close()
+                self._closed = True

@@ -15,7 +15,7 @@ form shown in Table 1.
 from __future__ import annotations
 
 import re
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.depdb.records import (
     DependencyRecord,
@@ -25,7 +25,7 @@ from repro.depdb.records import (
 )
 from repro.errors import DependencyDataError
 
-__all__ = ["dump_record", "dumps", "parse_line", "loads"]
+__all__ = ["dump_record", "dumps", "parse_line", "iter_records", "loads"]
 
 _ATTR_RE = re.compile(r'([A-Za-z_][\w-]*)\s*=\s*"([^"]*)"')
 
@@ -83,19 +83,27 @@ def parse_line(line: str) -> DependencyRecord:
     raise DependencyDataError(f"cannot infer record type of {line!r}")
 
 
-def loads(text: str) -> list[DependencyRecord]:
-    """Parse a blob of dependency lines; blank lines and ``#``/``---``
-    separator lines (as printed in Figure 3) are ignored."""
-    records = []
+def iter_records(text: str) -> Iterator[DependencyRecord]:
+    """Lazily parse a blob of dependency lines; blank lines and
+    ``#``/``---`` separator lines (as printed in Figure 3) are ignored.
+
+    Being a generator, this is the streaming-ingest entry point: a
+    multi-million-line dump flows into :meth:`repro.depdb.DepDB.ingest`
+    one batch at a time without materialising the record list.
+    """
     for number, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("#") or set(line) <= {"-"}:
             continue
         try:
-            records.append(parse_line(line))
+            yield parse_line(line)
         except DependencyDataError as exc:
             raise DependencyDataError(f"line {number}: {exc}") from exc
-    return records
+
+
+def loads(text: str) -> list[DependencyRecord]:
+    """Eager :func:`iter_records`."""
+    return list(iter_records(text))
 
 
 def _split_list(value: str, line: str) -> Sequence[str]:

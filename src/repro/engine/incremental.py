@@ -88,6 +88,7 @@ __all__ = [
     "DeltaAuditReport",
     "DeltaAuditEngine",
     "LRUCache",
+    "StoreAuditOutcome",
     "WatchService",
     "load_spec_set",
 ]
@@ -302,6 +303,51 @@ def _spec_audit_key(spec: AuditSpec) -> tuple:
         spec.top_n,
         spec.max_order,
     )
+
+
+# --------------------------------------------------------------------- #
+# Store-backed delta audits
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class StoreAuditOutcome:
+    """One :meth:`DeltaAuditEngine.audit_store` result with drift proof.
+
+    Attributes:
+        audit: The deployment audit (bit-identical to a cold audit of
+            the store's records for the same spec).
+        structural_hash: Structural hash of the built fault graph.
+        content_hash: The store's record-set digest at audit time.
+        previous: Digest of the store's last snapshot before this audit
+            (None on the first audit of a store).
+        changed: Whether the store drifted since that snapshot —
+            ``previous is None or previous != content_hash``.
+        cache_hit: Whether the audit came from the engine's result
+            cache rather than being recomputed.
+        snapshot: The snapshot recorded after the audit (None when
+            ``record_snapshot=False``).
+    """
+
+    audit: DeploymentAudit
+    structural_hash: str
+    content_hash: str
+    previous: Optional[str]
+    changed: bool
+    cache_hit: bool
+    snapshot: Optional[object] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "structural_hash": self.structural_hash,
+            "content_hash": self.content_hash,
+            "previous": self.previous,
+            "changed": self.changed,
+            "cache_hit": self.cache_hit,
+            "snapshot": (
+                None if self.snapshot is None else self.snapshot.to_dict()
+            ),
+        }
 
 
 # --------------------------------------------------------------------- #
@@ -651,6 +697,50 @@ class DeltaAuditEngine(AuditEngine):
             self._audits.put(key, audit)
             return audit, False
         return audit, True
+
+    def audit_store(
+        self,
+        depdb,
+        spec: AuditSpec,
+        weigher=None,
+        *,
+        record_snapshot: bool = True,
+        label: str = "",
+    ) -> StoreAuditOutcome:
+        """Audit a live DepDB *store*, snapshot-diffed against its last
+        audited state.
+
+        The store's content hash is compared with its most recent
+        snapshot before auditing: an unchanged store re-audited with
+        unchanged parameters is exactly a result-cache hit (the cache
+        key — structural hash + audit parameters — is a pure function
+        of the record set), so the drift check and the reuse decision
+        can never disagree.  After the audit, a snapshot of the audited
+        state is recorded (labelled with the graph's structural hash
+        unless ``label`` is given) so the *next* call diffs against this
+        audit, and so a later request can name the label as its ``base``.
+        """
+        from repro.core.audit import SIAAuditor
+
+        content = depdb.content_hash()
+        last = depdb.last_snapshot()
+        previous = None if last is None else last.digest
+        auditor = SIAAuditor(depdb, weigher=weigher, engine=self)
+        graph = auditor.build_graph(spec)
+        digest = structural_hash(graph)
+        audit, hit = self.audit_built(auditor, graph, spec)
+        snapshot = None
+        if record_snapshot:
+            snapshot = depdb.snapshot(label or digest)
+        return StoreAuditOutcome(
+            audit=audit,
+            structural_hash=digest,
+            content_hash=content,
+            previous=previous,
+            changed=previous is None or previous != content,
+            cache_hit=hit,
+            snapshot=snapshot,
+        )
 
     @staticmethod
     def _job_weigher(job: AuditJob):

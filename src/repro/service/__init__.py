@@ -21,6 +21,7 @@ from repro.service.admission import AdmissionQueue
 from repro.service.jobs import Job, JobManager
 from repro.service.router import Response, Router
 from repro.service.server import AuditServer, ServiceThread
+from repro.service.stores import TenantStores
 
 __all__ = [
     "AdmissionQueue",
@@ -30,4 +31,5 @@ __all__ = [
     "Response",
     "Router",
     "ServiceThread",
+    "TenantStores",
 ]

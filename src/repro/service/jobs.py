@@ -24,6 +24,7 @@ content-addressed — their reports exist only on the job itself.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from dataclasses import dataclass, field
@@ -36,6 +37,7 @@ from repro.engine.parallel import cancel_scope
 from repro.errors import AuditCancelled, IndaasError, ServiceError
 from repro.service.admission import AdmissionQueue
 from repro.service.journal import JobJournal
+from repro.service.stores import TenantStores
 
 __all__ = ["Job", "JobManager"]
 
@@ -119,6 +121,7 @@ class JobManager:
         self._ewma: Optional[float] = None
         self._closed = False
         self.journal = JobJournal(state_dir) if state_dir is not None else None
+        self.stores = TenantStores(state_dir)
         self._journal_errors = 0
         self._journal_degraded = False
         self._recovered_jobs = 0
@@ -157,6 +160,9 @@ class JobManager:
         fresh born-done job, exactly as without a key.
         """
         tenant = request.tenant or "public"
+        # Resolve "@store" against the tenant's dependency store before
+        # taking the manager lock (store I/O must not stall the service).
+        request = self._resolve_store_request(request, tenant)
         with self._event:
             if self._closed:
                 raise ServiceError(
@@ -200,6 +206,7 @@ class JobManager:
                 self._jobs[job.id] = job
                 self._register(job, idempotency_key)
                 self._journal_admitted(job)
+                self._snapshot_store(job)
                 self._event.notify_all()
                 return job
             position = self.admission.push(
@@ -216,6 +223,74 @@ class JobManager:
         # Caller holds the lock.
         if idempotency_key is not None:
             self._idempotency.put(idempotency_key, job.id)
+
+    # ------------------------- tenant stores -------------------------- #
+
+    def _resolve_store_request(
+        self, request: api.AuditRequest, tenant: str
+    ) -> api.AuditRequest:
+        """Materialise a ``depdb="@store"`` request from the tenant store.
+
+        The store's records are dumped into the request as canonical
+        Table-1 text, so everything downstream — fingerprinting, the
+        journal, execution, recovery replay — sees an ordinary
+        self-contained request.  An unchanged store therefore dumps to
+        identical text, and a repeat ``@store`` submit is a fingerprint
+        cache hit serving byte-identical report bytes.  The previous
+        audit's snapshot label (the structural hash it was recorded
+        under) becomes the request's ``base`` so the job's event stream
+        carries the graph delta against the last-audited state.
+        """
+        if request.depdb != api.STORE_DEPDB:
+            return request
+        store = self.stores.get(tenant)
+        if len(store) == 0:
+            raise ServiceError(
+                f"tenant {tenant!r} has no ingested dependency data; "
+                f"POST a DepDB dump to /v1/tenants/{tenant}/depdb first",
+                status=400,
+                code="empty-store",
+            )
+        last = store.last_snapshot()
+        metadata = dict(request.metadata)
+        metadata["depdb_source"] = "store"
+        metadata["depdb_content_hash"] = store.content_hash()
+        return dataclasses.replace(
+            request,
+            depdb=store.dumps(),
+            base=request.base or (last.label if last is not None else None),
+            metadata=metadata,
+        )
+
+    def _snapshot_store(self, job: Job) -> None:
+        """After a store-backed job finishes, snapshot the audited state.
+
+        The snapshot is keyed by the record-set content hash and
+        labelled with the audited graph's structural hash, so the next
+        ``@store`` request diffs against (and can ``base`` itself on)
+        exactly this audit.  Skipped when the store drifted while the
+        job was in flight — the audited state no longer exists, and
+        snapshotting the *new* state would falsely mark it audited.
+        """
+        if job.state != "done" or job.structural_hash is None:
+            return
+        metadata = job.request.metadata
+        if metadata.get("depdb_source") != "store":
+            return
+        try:
+            store = self.stores.get(job.tenant)
+            if store.content_hash() == metadata.get("depdb_content_hash"):
+                store.snapshot(job.structural_hash)
+        except IndaasError:
+            pass  # a broken store must not fail a finished audit
+
+    def ingest_depdb(self, tenant: str, text: str) -> dict:
+        """Ingest a dependency payload into a tenant's store."""
+        return self.stores.ingest(tenant, text)
+
+    def depdb_stats(self, tenant: str) -> dict:
+        """Current shape of a tenant's store."""
+        return self.stores.stats(tenant)
 
     # ---------------------------- journal ----------------------------- #
 
@@ -457,6 +532,7 @@ class JobManager:
                 structural_hash=result.structural_hash,
                 engine_cache_hit=result.engine_cache_hit,
             )
+            self._snapshot_store(job)
 
     def _finish(self, job: Job, state: str, error=None, **fields) -> None:
         # Caller holds the lock.
@@ -603,6 +679,10 @@ class JobManager:
                     "errors": self._journal_errors,
                     "recovered_jobs": self._recovered_jobs,
                 },
+                "stores": {
+                    "durable": self.stores.durable,
+                    "tenants": self.stores.tenants(),
+                },
             }
 
     # ---------------------------- shutdown ---------------------------- #
@@ -631,3 +711,4 @@ class JobManager:
             thread.join(timeout=timeout)
         if self.journal is not None:
             self.journal.close()
+        self.stores.close()

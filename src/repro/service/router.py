@@ -92,6 +92,12 @@ class Router:
             "POST", r"/v1/jobs/(?P<job_id>[\w.-]+)/cancel", self.job_cancel
         )
         self._route("GET", r"/v1/reports/(?P<key>[0-9a-f]+)", self.report)
+        self._route(
+            "POST", r"/v1/tenants/(?P<tenant>[^/]+)/depdb", self.depdb_ingest
+        )
+        self._route(
+            "GET", r"/v1/tenants/(?P<tenant>[^/]+)/depdb", self.depdb_stats
+        )
         self._route("GET", r"/v1/healthz", self.healthz)
 
     def _route(self, method: str, pattern: str, handler) -> None:
@@ -230,6 +236,27 @@ class Router:
 
     def report(self, key: str, **_) -> Response:
         return Response(status=200, body=self.manager.report_bytes(key))
+
+    def depdb_ingest(self, tenant: str, body: bytes, **_) -> Response:
+        """Ingest a DepDB payload (Table-1 text or JSON) for a tenant."""
+        tenant = urllib.parse.unquote(tenant)
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ServiceError(
+                f"dependency payload is not UTF-8: {exc}",
+                status=400,
+                code="bad-request",
+            ) from exc
+        outcome = self.manager.ingest_depdb(tenant, text)
+        return _json_response(200, api.envelope("depdb_ingest", outcome))
+
+    def depdb_stats(self, tenant: str, **_) -> Response:
+        tenant = urllib.parse.unquote(tenant)
+        return _json_response(
+            200,
+            api.envelope("depdb_stats", self.manager.depdb_stats(tenant)),
+        )
 
     def healthz(self, **_) -> Response:
         return _json_response(

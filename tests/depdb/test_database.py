@@ -61,8 +61,14 @@ class TestQueries:
     def test_software_named(self, db):
         assert db.software_named("Redis")[0].hw == "S1"
 
-    def test_hosts(self, db):
-        assert db.hosts() == ["S1"]
+    def test_hosts_include_destinations(self, db):
+        # Regression: hosts that only ever appear as a network dst
+        # (Internet, S2) used to be invisible.
+        assert db.hosts() == ["S1", "Internet", "S2"]
+
+    def test_hosts_dst_only_host_visible(self):
+        db = DepDB([NetworkDependency("A", "B", ("sw1",))])
+        assert db.hosts() == ["A", "B"]
 
     def test_records_returns_everything(self, db):
         assert len(db.records()) == len(db) == 6
@@ -87,3 +93,52 @@ class TestPersistence:
 
         with pytest.raises(DependencyDataError):
             DepDB.from_json("{broken")
+
+
+class TestJsonValidation:
+    """Malformed payloads fail with a clean error naming the record —
+    never a raw KeyError/TypeError out of the parser (regression)."""
+
+    def _error(self, text):
+        from repro.errors import DependencyDataError
+
+        with pytest.raises(DependencyDataError) as exc:
+            DepDB.from_json(text)
+        return str(exc.value)
+
+    def test_top_level_must_be_object(self):
+        assert "must be an object" in self._error("[]")
+
+    def test_section_must_be_list(self):
+        assert "list" in self._error('{"network": {}}')
+
+    def test_entry_must_be_object(self):
+        message = self._error('{"network": ["nope"]}')
+        assert "network entry #0" in message
+
+    def test_missing_field_named(self):
+        message = self._error(
+            '{"hardware": [{"hw": "S1", "type": "CPU"}]}'
+        )
+        assert "hardware entry #0" in message
+        assert "dep" in message
+
+    def test_wrong_field_type_named(self):
+        message = self._error(
+            '{"network": [{"src": "S1", "dst": "S2", "route": "ToR1"}]}'
+        )
+        assert "network entry #0" in message
+        assert "route" in message
+
+    def test_list_element_must_be_string(self):
+        message = self._error(
+            '{"software": [{"pgm": "Riak", "hw": "S1", "dep": ["libc6", 3]}]}'
+        )
+        assert "software entry #0" in message
+
+    def test_later_entry_index_reported(self):
+        good = '{"src": "A", "dst": "B", "route": ["r"]}'
+        message = self._error(
+            '{"network": [%s, {"src": "A"}]}' % good
+        )
+        assert "network entry #1" in message

@@ -1,0 +1,167 @@
+"""SQLite DepDB backend: durability, dedup, snapshots, lifecycle."""
+
+import pickle
+
+import pytest
+
+from repro.depdb import (
+    DepDB,
+    HardwareDependency,
+    NetworkDependency,
+    SoftwareDependency,
+    SQLiteBackend,
+)
+from repro.errors import DependencyDataError
+
+RECORDS = [
+    NetworkDependency("S1", "Internet", ("ToR1", "Core1")),
+    NetworkDependency("S1", "Internet", ("ToR1", "Core2")),
+    NetworkDependency("S1", "S2", ("ToR1",)),
+    HardwareDependency("S1", "CPU", "X5550"),
+    SoftwareDependency("Riak", "S1", ("libc6",)),
+    SoftwareDependency("Redis", "S1", ("libc6", "jemalloc")),
+]
+
+
+@pytest.fixture
+def db(tmp_path):
+    db = DepDB.sqlite(tmp_path / "dep.sqlite", records=RECORDS)
+    yield db
+    db.close()
+
+
+class TestDurability:
+    def test_records_survive_reopen(self, tmp_path):
+        path = tmp_path / "dep.sqlite"
+        with DepDB.sqlite(path, records=RECORDS) as db:
+            expected = db.records()
+        with DepDB.sqlite(path) as reopened:
+            assert reopened.records() == expected
+
+    def test_snapshots_survive_reopen(self, tmp_path):
+        path = tmp_path / "dep.sqlite"
+        with DepDB.sqlite(path, records=RECORDS) as db:
+            snap = db.snapshot("v1")
+        with DepDB.sqlite(path) as reopened:
+            last = reopened.last_snapshot()
+            assert last is not None
+            assert last.digest == snap.digest
+            assert last.label == "v1"
+            assert last.counts == (3, 1, 2)
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "dep.sqlite"
+        with DepDB.sqlite(path):
+            pass
+        import sqlite3
+
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute(
+                "UPDATE meta SET value = '999' WHERE key = 'schema_version'"
+            )
+        conn.close()
+        with pytest.raises(DependencyDataError, match="schema version"):
+            SQLiteBackend(path)
+
+    def test_unreadable_database_rejected(self, tmp_path):
+        path = tmp_path / "garbage.sqlite"
+        path.write_bytes(b"SQLite format 3\x00" + b"\xff" * 64)
+        with pytest.raises(DependencyDataError, match="cannot open|is closed|database"):
+            SQLiteBackend(path)
+
+
+class TestIngest:
+    def test_duplicates_ignored(self, db):
+        assert not db.add(RECORDS[0])
+        assert len(db) == len(RECORDS)
+
+    def test_add_many_counts_new(self, db):
+        new = [RECORDS[0], HardwareDependency("S9", "Disk", "WD")]
+        assert db.add_all(new) == 1
+
+    def test_route_with_comma_in_hop_not_conflated(self, tmp_path):
+        # JSON-array storage: one hop containing a comma is distinct
+        # from two hops with the same flattened text.
+        a = NetworkDependency("A", "B", ("x,y",))
+        b = NetworkDependency("A", "B", ("x", "y"))
+        with DepDB.sqlite(tmp_path / "d.sqlite") as db:
+            assert db.add(a)
+            assert db.add(b)
+            assert db.counts()["network"] == 2
+            assert a in db.records() and b in db.records()
+
+    def test_batched_ingest_is_transactional(self, tmp_path):
+        with DepDB.sqlite(tmp_path / "d.sqlite") as db:
+            added = db.ingest(iter(RECORDS), batch_size=2)
+            assert added == len(RECORDS)
+            assert db.records() == RECORDS
+
+
+class TestQueries:
+    def test_records_order_contract(self, db):
+        # network, then hardware, then software; insertion order within.
+        assert db.records() == RECORDS
+
+    def test_network_paths(self, db):
+        assert len(db.network_paths("S1", "Internet")) == 2
+        assert len(db.network_paths("S1")) == 3
+        assert db.network_paths("S9") == []
+
+    def test_network_destinations_order(self, db):
+        assert db.network_destinations("S1") == ["Internet", "S2"]
+
+    def test_hosts_include_destinations(self, db):
+        assert db.hosts() == ["S1", "Internet", "S2"]
+
+    def test_software_on_filter(self, db):
+        assert [r.pgm for r in db.software_on("S1", programs=["Riak"])] == [
+            "Riak"
+        ]
+
+    def test_counts(self, db):
+        assert db.counts() == {"network": 3, "hardware": 1, "software": 2}
+
+
+class TestSnapshots:
+    def test_snapshot_is_content_addressed(self, db):
+        first = db.snapshot("a")
+        again = db.snapshot("b")
+        assert first.digest == again.digest == db.content_hash()
+        # Re-snapshotting an unchanged store updates in place.
+        assert len(db.snapshots()) == 1
+        assert db.last_snapshot().label == "b"
+        assert again.seq > first.seq
+
+    def test_snapshot_sequence_advances_on_change(self, db):
+        first = db.snapshot()
+        db.add(HardwareDependency("S9", "Disk", "WD"))
+        second = db.snapshot()
+        assert second.digest != first.digest
+        assert second.seq == first.seq + 1
+        assert [s.digest for s in db.snapshots()] == [
+            first.digest,
+            second.digest,
+        ]
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, tmp_path):
+        db = DepDB.sqlite(tmp_path / "d.sqlite")
+        db.close()
+        db.close()
+
+    def test_closed_store_raises_clean_error(self, tmp_path):
+        db = DepDB.sqlite(tmp_path / "d.sqlite", records=RECORDS)
+        db.close()
+        with pytest.raises(DependencyDataError, match="closed"):
+            db.records()
+
+    def test_pickle_rebuilds_as_memory_store(self, db):
+        # Engine workers pickle job.depdb; sqlite connections cannot
+        # cross process boundaries, so the clone is memory-backed with
+        # identical records.
+        clone = pickle.loads(pickle.dumps(db))
+        assert clone.records() == db.records()
+        assert clone.content_hash() == db.content_hash()
+        clone.add(HardwareDependency("S9", "Disk", "WD"))  # writable

@@ -1,0 +1,102 @@
+"""DeltaAuditEngine.audit_store: snapshot-diffed delta audits."""
+
+import pytest
+
+from repro.core.spec import AuditSpec
+from repro.depdb import (
+    DepDB,
+    HardwareDependency,
+    NetworkDependency,
+    SoftwareDependency,
+)
+from repro.engine.incremental import DeltaAuditEngine
+
+RECORDS = [
+    NetworkDependency("S1", "Internet", ("ToR1", "Core1")),
+    NetworkDependency("S2", "Internet", ("ToR2", "Core1")),
+    HardwareDependency("S1", "CPU", "X5550"),
+    HardwareDependency("S2", "CPU", "X5550"),
+    SoftwareDependency("Riak1", "S1", ("libc6",)),
+    SoftwareDependency("Riak2", "S2", ("libc6",)),
+]
+
+SPEC = AuditSpec(deployment="riak", servers=("S1", "S2"))
+
+
+@pytest.fixture
+def db():
+    return DepDB(RECORDS)
+
+
+class TestFirstAudit:
+    def test_first_audit_is_a_change(self, db):
+        outcome = DeltaAuditEngine().audit_store(db, SPEC)
+        assert outcome.previous is None
+        assert outcome.changed is True
+        assert outcome.cache_hit is False
+        assert outcome.content_hash == db.content_hash()
+
+    def test_snapshot_recorded_with_structural_hash_label(self, db):
+        outcome = DeltaAuditEngine().audit_store(db, SPEC)
+        assert outcome.snapshot is not None
+        assert outcome.snapshot.label == outcome.structural_hash
+        assert db.last_snapshot().digest == db.content_hash()
+
+    def test_custom_label(self, db):
+        outcome = DeltaAuditEngine().audit_store(db, SPEC, label="v1")
+        assert outcome.snapshot.label == "v1"
+
+    def test_record_snapshot_false_leaves_store_untouched(self, db):
+        outcome = DeltaAuditEngine().audit_store(
+            db, SPEC, record_snapshot=False
+        )
+        assert outcome.snapshot is None
+        assert db.last_snapshot() is None
+
+
+class TestReaudit:
+    def test_unchanged_store_is_cache_hit(self, db):
+        engine = DeltaAuditEngine()
+        first = engine.audit_store(db, SPEC)
+        second = engine.audit_store(db, SPEC)
+        assert second.changed is False
+        assert second.previous == first.content_hash
+        assert second.cache_hit is True
+        assert second.audit.to_dict() == first.audit.to_dict()
+
+    def test_drifted_store_reaudits(self, db):
+        engine = DeltaAuditEngine()
+        first = engine.audit_store(db, SPEC)
+        db.add(HardwareDependency("S1", "Disk", "WD-1TB"))
+        second = engine.audit_store(db, SPEC)
+        assert second.changed is True
+        assert second.previous == first.content_hash
+        assert second.content_hash != first.content_hash
+
+    def test_reverted_store_hits_cache_again(self, db):
+        # Config flap: drift then revert to a previously audited record
+        # set — the content-addressed caches recognise the old state.
+        engine = DeltaAuditEngine()
+        first = engine.audit_store(db, SPEC)
+        drifted = DepDB(
+            RECORDS + [HardwareDependency("S1", "Disk", "WD-1TB")]
+        )
+        engine.audit_store(drifted, SPEC)
+        reverted = DepDB(RECORDS)
+        reverted.snapshot("pre-flap")  # any prior snapshot, digest differs
+        drifted_back = engine.audit_store(reverted, SPEC)
+        assert drifted_back.cache_hit is True
+        assert drifted_back.structural_hash == first.structural_hash
+
+    def test_matches_cold_audit_bitwise(self, db):
+        warm = DeltaAuditEngine()
+        warm.audit_store(db, SPEC)
+        cached = warm.audit_store(db, SPEC)
+        cold = DeltaAuditEngine().audit_store(DepDB(RECORDS), SPEC)
+        assert cached.audit.to_dict() == cold.audit.to_dict()
+
+    def test_outcome_to_dict_round_trips(self, db):
+        outcome = DeltaAuditEngine().audit_store(db, SPEC)
+        payload = outcome.to_dict()
+        assert payload["changed"] is True
+        assert payload["snapshot"]["digest"] == outcome.content_hash

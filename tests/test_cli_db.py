@@ -1,0 +1,139 @@
+"""The ``indaas db`` store-maintenance verbs and sqlite-aware auditing."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.depdb import DepDB
+
+DUMP = (
+    '<src="S1" dst="Internet" route="ToR1,Core1"/>\n'
+    '<src="S2" dst="Internet" route="ToR1,Core1"/>\n'
+    '<hw="S1" type="CPU" dep="X5550"/>\n'
+)
+
+
+@pytest.fixture
+def dump(tmp_path):
+    path = tmp_path / "dump.txt"
+    path.write_text(DUMP)
+    return path
+
+
+@pytest.fixture
+def store(tmp_path, dump):
+    path = tmp_path / "dep.sqlite"
+    assert main(["db", "ingest", str(path), str(dump)]) == 0
+    return path
+
+
+class TestIngest:
+    def test_ingest_reports_counts(self, tmp_path, dump, capsys):
+        path = tmp_path / "fresh.sqlite"
+        assert main(["db", "ingest", str(path), str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "3 records, 3 new" in out
+        assert "network=2 hardware=1 software=0 (total 3)" in out
+        with DepDB.sqlite(path) as db:
+            assert len(db) == 3
+
+    def test_reingest_is_idempotent(self, store, dump, capsys):
+        capsys.readouterr()
+        assert main(["db", "ingest", str(store), str(dump)]) == 0
+        assert "3 records, 0 new" in capsys.readouterr().out
+
+    def test_ingest_json_dump(self, tmp_path, capsys):
+        path = tmp_path / "dump.json"
+        path.write_text(DepDB.loads(DUMP).to_json())
+        db = tmp_path / "dep.sqlite"
+        assert main(["db", "ingest", str(db), str(path)]) == 0
+        assert "3 new" in capsys.readouterr().out
+
+    def test_ingest_many_sources(self, tmp_path, dump, capsys):
+        other = tmp_path / "more.txt"
+        other.write_text('<pgm="Riak" hw="S1" dep="libc6"/>\n')
+        db = tmp_path / "dep.sqlite"
+        assert main(["db", "ingest", str(db), str(dump), str(other)]) == 0
+        assert "(total 4)" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_json(self, store, capsys):
+        capsys.readouterr()
+        assert main(["db", "stats", str(store), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["counts"] == {
+            "network": 2, "hardware": 1, "software": 0,
+        }
+        with DepDB.sqlite(store) as db:
+            assert stats["content_hash"] == db.content_hash()
+
+    def test_stats_rejects_non_sqlite_file(self, dump, capsys):
+        assert main(["db", "stats", str(dump)]) == 1
+        assert "indaas db ingest" in capsys.readouterr().err
+
+
+class TestSnapshotAndDiff:
+    def test_snapshot_then_clean_diff(self, store, capsys):
+        capsys.readouterr()
+        assert main(["db", "snapshot", str(store), "--label", "v1"]) == 0
+        assert "snapshot seq=1" in capsys.readouterr().out
+        assert main(["db", "diff", str(store)]) == 0
+        assert "no drift" in capsys.readouterr().out
+
+    def test_drift_exits_2(self, store, tmp_path, capsys):
+        assert main(["db", "snapshot", str(store)]) == 0
+        extra = tmp_path / "extra.txt"
+        extra.write_text('<hw="S9" type="Disk" dep="WD"/>\n')
+        assert main(["db", "ingest", str(store), str(extra)]) == 0
+        capsys.readouterr()
+        assert main(["db", "diff", str(store)]) == 2
+        assert "differs from snapshot #1" in capsys.readouterr().out
+
+    def test_diff_against_dump_file(self, store, dump, tmp_path, capsys):
+        assert main(["db", "diff", str(store), "--against", str(dump)]) == 0
+        extra = tmp_path / "extra.txt"
+        extra.write_text('<hw="S9" type="Disk" dep="WD"/>\n')
+        assert main(["db", "ingest", str(store), str(extra)]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                ["db", "diff", str(store), "--against", str(dump), "--json"]
+            )
+            == 2
+        )
+        outcome = json.loads(capsys.readouterr().out)
+        assert outcome["changed"] is True
+        assert outcome["only_in_store"] == 1
+        assert outcome["only_in_reference"] == 0
+
+    def test_diff_without_snapshot_is_an_error(self, store, capsys):
+        assert main(["db", "diff", str(store)]) == 1
+        assert "no snapshots" in capsys.readouterr().err
+
+
+class TestSqliteAudit:
+    def test_audit_bytes_identical_for_text_and_sqlite(
+        self, store, dump, capsys
+    ):
+        args = [
+            "--servers", "S1,S2", "--algorithm", "sampling",
+            "--rounds", "2000", "--seed", "7", "--json",
+        ]
+        assert main(["audit", str(dump)] + args) == 0
+        from_text = capsys.readouterr().out
+        assert main(["audit", str(store)] + args) == 0
+        from_store = capsys.readouterr().out
+        assert from_store == from_text
+
+    def test_audit_bytes_identical_across_worker_counts(self, store, capsys):
+        args = [
+            "audit", str(store), "--servers", "S1,S2",
+            "--algorithm", "sampling", "--rounds", "2000",
+            "--seed", "7", "--json",
+        ]
+        assert main(args + ["--workers", "0"]) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
