@@ -1,0 +1,140 @@
+"""Persistent pool economics: many small audits, one set of workers.
+
+Workload: a multi-tenant-shaped stream of repeated small-graph sampling
+audits — the case where the legacy per-call executor pays process
+spawn + graph ship + compile on *every* audit, dwarfing the actual
+sampling time.  The same stream through one shared
+:class:`~repro.engine.pool.PersistentPool` pays those costs once per
+(worker, graph) and runs warm afterwards.
+
+Acceptance (ISSUE 10):
+
+* shared-pool throughput ≥ 3x the per-call spin-up path on the
+  repeated-small-audit stream;
+* results are bit-identical audit by audit (pooled vs legacy vs the
+  serial sampler) — the pool changes economics, never bytes;
+* the steady-state warm hit rate is high: after the first pass every
+  block finds its compiled graph already resident in the worker.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import FailureSampler
+from repro.core.componentset import ComponentSets
+from repro.engine import AuditEngine, PersistentPool
+
+PARAMS = {
+    "smoke": {"graphs": 3, "passes": 20, "rounds": 768, "workers": 2},
+    "quick": {"graphs": 4, "passes": 30, "rounds": 768, "workers": 2},
+    "paper": {"graphs": 6, "passes": 50, "rounds": 1_024, "workers": 4},
+}
+
+MIN_SPEEDUP = 3.0
+MIN_WARM_HIT_RATE = 0.5
+BLOCK = 256
+
+
+def make_graphs(count: int):
+    graphs = []
+    for g in range(count):
+        sets = {
+            f"g{g}-P{i}": [f"g{g}-shared-{j}" for j in range(2)]
+            + [f"g{g}-p{i}-{j}" for j in range(3)]
+            for i in range(3 + g % 2)
+        }
+        graphs.append(
+            ComponentSets.from_mapping(sets).to_fault_graph(f"pool-bench-{g}")
+        )
+    return graphs
+
+
+def fingerprint(result):
+    return (
+        result.rounds,
+        result.top_failures,
+        result.unique_failure_sets,
+        tuple(sorted(map(tuple, map(sorted, result.risk_groups)))),
+    )
+
+
+def test_shared_pool_vs_per_call_spinup(emit, scale):
+    params = PARAMS[scale]
+    graphs = make_graphs(params["graphs"])
+    rounds = params["rounds"]
+    stream = [
+        (graph, 1000 + pass_no)
+        for pass_no in range(params["passes"])
+        for graph in graphs
+    ]
+
+    serial_prints = [
+        fingerprint(
+            FailureSampler(graph, seed=seed, batch_size=BLOCK).run(rounds)
+        )
+        for graph, seed in stream
+    ]
+
+    def timed(engine):
+        prints = []
+        started = time.perf_counter()
+        for graph, seed in stream:
+            prints.append(fingerprint(engine.sample(graph, rounds, seed=seed)))
+        return time.perf_counter() - started, prints
+
+    legacy_engine = AuditEngine(n_workers=params["workers"], block_size=BLOCK)
+    legacy_secs, legacy_prints = timed(legacy_engine)
+
+    with PersistentPool(params["workers"]) as pool:
+        pooled_engine = AuditEngine(
+            n_workers=params["workers"], block_size=BLOCK, pool=pool
+        )
+        # One untimed warm-up audit per graph: the gate is steady-state
+        # reuse throughput; the pool's one-time spawn + graph ship is
+        # reported separately below.
+        started = time.perf_counter()
+        for graph in graphs:
+            pooled_engine.sample(graph, rounds, seed=1)
+        warmup_secs = time.perf_counter() - started
+        pooled_secs, pooled_prints = timed(pooled_engine)
+        stats = pool.stats()
+
+    assert pooled_prints == serial_prints, "pooled audits drifted from serial"
+    assert legacy_prints == serial_prints, "legacy audits drifted from serial"
+
+    audits = len(stream)
+    legacy_rate = audits / legacy_secs
+    pooled_rate = audits / pooled_secs
+    speedup = pooled_rate / legacy_rate
+
+    emit.table(
+        "many small audits: per-call spin-up vs shared pool "
+        f"({audits} audits, {params['workers']} workers)",
+        ["path", "seconds", "audits/s"],
+        [
+            ["per-call executor", f"{legacy_secs:.2f}", f"{legacy_rate:.1f}"],
+            ["persistent pool", f"{pooled_secs:.2f}", f"{pooled_rate:.1f}"],
+        ],
+    )
+    emit(
+        f"speedup {speedup:.1f}x (gate >= {MIN_SPEEDUP}x); "
+        f"warm hit rate {stats['warm_hit_rate']:.2f} "
+        f"(gate >= {MIN_WARM_HIT_RATE}); "
+        f"graph bytes shipped {stats['shipped_bytes']}; "
+        f"one-time pool start + graph ship {warmup_secs:.2f}s"
+    )
+    emit.metric("audits", audits)
+    emit.metric("legacy_audits_per_s", round(legacy_rate, 2))
+    emit.metric("pooled_audits_per_s", round(pooled_rate, 2))
+    emit.metric("speedup", round(speedup, 2))
+    emit.metric("pool_startup_s", round(warmup_secs, 3))
+    emit.metric("warm_hit_rate", round(stats["warm_hit_rate"], 3))
+    emit.metric("shipped_bytes", stats["shipped_bytes"])
+    emit.metric("respawns", stats["respawns"])
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"shared pool only {speedup:.1f}x faster than per-call spin-up "
+        f"(gate {MIN_SPEEDUP}x)"
+    )
+    assert stats["warm_hit_rate"] >= MIN_WARM_HIT_RATE

@@ -289,13 +289,20 @@ def evaluate_mitigations(
     before_unexpected = len(
         unexpected_risk_groups(baseline_groups, expected_size=redundancy)
     )
-    if engine is not None and engine.n_workers > 1 and len(mitigations) > 1:
+    pool = getattr(engine, "pool", None) if engine is not None else None
+    fanout = (
+        pool.workers
+        if pool is not None and pool.workers > 1
+        else (engine.n_workers if engine is not None else 1)
+    )
+    if engine is not None and fanout > 1 and len(mitigations) > 1:
         from repro.engine.parallel import map_jobs
 
         measurements = map_jobs(
             _evaluate_one_mitigation,
             [(weighted, m, redundancy, method) for m in mitigations],
             engine.n_workers,
+            pool=pool,
         )
     else:
         measurements = [

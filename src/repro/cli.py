@@ -240,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="sampling rounds per block (part of the seeded stream)",
     )
     watch.add_argument(
+        "--workers", type=int, default=0,
+        help=(
+            "sampling worker processes shared through one persistent "
+            "pool across every poll (default 0 = inline; -1 = all cores)"
+        ),
+    )
+    watch.add_argument(
         "--full", action="store_true",
         help="include the full audit report in every JSON line",
     )
@@ -375,6 +382,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--block-size", type=int, default=4096,
         help="sampling rounds per block (part of the seeded stream)",
+    )
+    serve.add_argument(
+        "--engine-workers", type=int, default=0, dest="engine_workers",
+        help=(
+            "sampling worker processes, shared across all audits "
+            "through one persistent per-server pool (default 0 = "
+            "inline sampling; -1 = all cores)"
+        ),
     )
     serve.add_argument(
         "--state-dir", default=None, dest="state_dir", metavar="DIR",
@@ -653,8 +668,10 @@ def _run_db(args: argparse.Namespace) -> int:
 def _run_audit_many(args: argparse.Namespace) -> int:
     from repro.engine import AuditEngine
 
-    engine = AuditEngine(n_workers=args.workers)
-    report = engine.audit_many(args.specs, title=args.title)
+    # One persistent pool for the whole sweep: every job ships through
+    # warm workers instead of spinning a process pool per audit.
+    with AuditEngine(n_workers=args.workers, pool=True) as engine:
+        report = engine.audit_many(args.specs, title=args.title)
     if args.json:
         print(report.to_json())
         return 0
@@ -678,7 +695,9 @@ def _run_watch(args: argparse.Namespace) -> int:
 
     from repro.engine.incremental import DeltaAuditEngine, WatchService
 
-    engine = DeltaAuditEngine(block_size=args.block_size)
+    engine = DeltaAuditEngine(
+        n_workers=args.workers, block_size=args.block_size, pool=True
+    )
     service = WatchService(
         args.specs,
         engine=engine,
@@ -702,6 +721,8 @@ def _run_watch(args: argparse.Namespace) -> int:
         service.run(iterations=args.iterations, emit=emit)
     except KeyboardInterrupt:  # a service: Ctrl-C is the normal exit
         return 0
+    finally:
+        engine.close()
     return 0
 
 
@@ -860,7 +881,10 @@ def _run_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
     manager = JobManager(
-        DeltaAuditEngine(block_size=args.block_size),
+        DeltaAuditEngine(
+            n_workers=getattr(args, "engine_workers", 0),
+            block_size=args.block_size,
+        ),
         workers=args.workers,
         per_tenant_limit=args.per_tenant,
         total_limit=args.queue_limit,

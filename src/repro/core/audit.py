@@ -290,7 +290,13 @@ class SIAAuditor:
         case we quietly run serially — same results, one process.
         """
         engine = self.engine
-        if engine is None or engine.n_workers <= 1 or len(specs) <= 1:
+        pool = getattr(engine, "pool", None) if engine is not None else None
+        fanout = (
+            pool.workers
+            if pool is not None and pool.workers > 1
+            else (engine.n_workers if engine is not None else 1)
+        )
+        if engine is None or fanout <= 1 or len(specs) <= 1:
             return [self.audit_deployment(spec) for spec in specs]
         try:
             pickle.dumps((self.depdb, self.weigher))
@@ -305,6 +311,7 @@ class SIAAuditor:
                 for spec in specs
             ],
             engine.n_workers,
+            pool=pool,
         )
 
     def compare_combinations(

@@ -40,6 +40,7 @@ from repro.engine.parallel import (
     run_plan_parallel,
     run_plan_serial,
 )
+from repro.engine.pool import PersistentPool
 
 __all__ = [
     "AuditEngine",
@@ -50,6 +51,7 @@ __all__ = [
     "DeltaAuditReport",
     "GraphCache",
     "GraphDelta",
+    "PersistentPool",
     "WatchService",
     "compile_cached",
     "default_cache",

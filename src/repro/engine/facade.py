@@ -40,6 +40,7 @@ from repro.engine.parallel import (
     run_plan_parallel,
     run_plan_serial,
 )
+from repro.engine.pool import PersistentPool
 from repro.errors import AnalysisError, SpecificationError
 
 __all__ = [
@@ -211,6 +212,15 @@ class AuditEngine:
             to workers and the granularity of seeded streams.
         cache: Optional shared :class:`GraphCache` (a private one is
             created otherwise).
+        pool: Opt-in persistent worker pool.  ``True`` makes the engine
+            own a lazily spawned
+            :class:`~repro.engine.pool.PersistentPool` sized
+            ``n_workers`` (closed by :meth:`close`); an existing
+            :class:`PersistentPool` is shared, not owned.  ``None``
+            keeps the legacy per-call executors — unless
+            ``REPRO_POOL_DEFAULT`` is set in the environment, which
+            flips the default to ``True`` (the ``pool-fast`` CI job).
+            Either way the pool never changes results, only wall-clock.
     """
 
     def __init__(
@@ -218,12 +228,36 @@ class AuditEngine:
         n_workers: Optional[int] = None,
         block_size: int = 4096,
         cache: Optional[GraphCache] = None,
+        pool: Union[PersistentPool, bool, None] = None,
     ) -> None:
         if block_size < 1:
             raise AnalysisError(f"block_size must be >= 1, got {block_size}")
         self.n_workers = resolve_workers(n_workers)
         self.block_size = block_size
         self.cache = cache if cache is not None else GraphCache()
+        if pool is None and os.environ.get("REPRO_POOL_DEFAULT", "") not in (
+            "",
+            "0",
+        ):
+            pool = True
+        self._owns_pool = False
+        if pool is True:
+            pool = (
+                PersistentPool(self.n_workers) if self.n_workers > 1 else None
+            )
+            self._owns_pool = pool is not None
+        self.pool: Optional[PersistentPool] = pool or None
+
+    def close(self) -> None:
+        """Release owned resources (the persistent pool, when owned)."""
+        if self._owns_pool and self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "AuditEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Compilation
@@ -341,6 +375,17 @@ class AuditEngine:
         stopping point (observed in plan order on every path).
         Returns ``(outcomes, extra result metadata)``.
         """
+        if self.pool is not None and self.pool.workers > 1 and len(plan) > 1:
+            outcomes = self.pool.run_plan(
+                graph,
+                plan,
+                probabilities=probabilities,
+                default_probability=default_probability,
+                minimise=minimise,
+                packed=packed,
+                stopper=stopper,
+            )
+            return outcomes, {"pool": self.pool.stats()}
         if self.n_workers > 1 and len(plan) > 1:
             # Workers compile through their process-local caches; don't
             # pay for an unused parent-side compilation here.
@@ -407,6 +452,7 @@ class AuditEngine:
             _run_audit_job,
             [(job.depdb, job.spec, job.probability) for job in jobs],
             self.n_workers,
+            pool=self.pool,
         )
 
     def audit_many(
@@ -456,9 +502,10 @@ class AuditEngine:
         """The lazily created incremental companion engine.
 
         A :class:`~repro.engine.incremental.DeltaAuditEngine` sharing
-        this engine's :class:`GraphCache` and block size; repeated calls
-        return the same instance, so its block/audit caches stay warm
-        across :meth:`audit_delta` calls.
+        this engine's :class:`GraphCache`, block size and persistent
+        pool (when one is attached); repeated calls return the same
+        instance, so its block/audit caches stay warm across
+        :meth:`audit_delta` calls.
         """
         from repro.engine.incremental import DeltaAuditEngine
 
@@ -470,6 +517,7 @@ class AuditEngine:
                 n_workers=self.n_workers,
                 block_size=self.block_size,
                 cache=self.cache,
+                pool=self.pool,
             )
             self._delta_engine = existing
         return existing
@@ -516,4 +564,9 @@ class AuditEngine:
             "block_size": self.block_size,
             "cpu_count": os.cpu_count(),
             "cache": self.cache.info(),
+            "pool": (
+                self.pool.stats()
+                if self.pool is not None
+                else {"enabled": False}
+            ),
         }

@@ -514,9 +514,10 @@ class DeltaAuditEngine(AuditEngine):
         cache: Optional[GraphCache] = None,
         max_cached_blocks: int = 8192,
         max_cached_audits: int = 1024,
+        pool=None,
     ) -> None:
         super().__init__(
-            n_workers=n_workers, block_size=block_size, cache=cache
+            n_workers=n_workers, block_size=block_size, cache=cache, pool=pool
         )
         self._blocks = LRUCache(max_cached_blocks)
         self._audits = LRUCache(max_cached_audits)
@@ -587,7 +588,12 @@ class DeltaAuditEngine(AuditEngine):
         missing = [i for i, outcome in enumerate(cached) if outcome is None]
         reused = len(plan) - len(missing)
 
-        if stopper is None and self.n_workers > 1 and len(missing) > 1:
+        fanout = (
+            self.pool.workers
+            if self.pool is not None and self.pool.workers > 1
+            else self.n_workers
+        )
+        if stopper is None and fanout > 1 and len(missing) > 1:
             # Fan the misses out as their own sub-plan; worker-side
             # run_block calls are identical to the inline ones, so the
             # cached entries they produce are too.
@@ -604,16 +610,20 @@ class DeltaAuditEngine(AuditEngine):
                 default_probability=default_probability,
                 minimise=minimise,
                 packed=packed,
+                pool=self.pool,
             )
             for i, outcome in zip(missing, computed):
                 self._blocks.put(keys[i], outcome)
                 cached[i] = outcome
-            return list(cached), {
+            execution_metadata = {
                 "incremental": {
                     "blocks_reused": reused,
                     "blocks_computed": len(missing),
                 }
             }
+            if self.pool is not None:
+                execution_metadata["pool"] = self.pool.stats()
+            return list(cached), execution_metadata
 
         compiled = self.compile(graph)
         outcomes: list[BlockOutcome] = []

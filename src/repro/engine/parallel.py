@@ -123,8 +123,6 @@ def resolve_workers(n_workers: Optional[int]) -> int:
     negative value is rejected — it is far more likely a typo than a
     request.
     """
-    import os
-
     if n_workers is None:
         return 1
     if n_workers == -1:
@@ -202,7 +200,8 @@ def _run_block_task(
     task: tuple[int, int, np.random.SeedSequence]
 ) -> BlockOutcome:
     index, block_rounds, seed = task
-    if index in _WORKER_STATE["kills"]:
+    kills = _WORKER_STATE["kills"]
+    if kills and index in kills:
         # Injected worker crash (repro.testing.faults): die the way a
         # real segfault/OOM-kill would, taking the whole process down
         # mid-plan.  The parent's recovery path retries the block
@@ -235,17 +234,26 @@ def run_plan_parallel(
     minimise: bool = True,
     packed: bool = True,
     stopper=None,
+    pool=None,
 ) -> list[BlockOutcome]:
     """Execute ``plan`` across ``n_workers`` processes.
 
-    Blocks are submitted as individual futures and collected strictly in
-    plan order, with the thread's :func:`cancel_scope` polled between
-    completions — so cancelling a served job takes effect within roughly
-    one block's wall-clock even on the multi-process path, instead of
-    after the whole plan.  On cancellation (or early stop) the pool is
-    shut down with ``cancel_futures=True``: queued blocks never start,
-    and only the at-most-``n_workers`` in-flight blocks run to
-    completion.
+    With a ``pool`` (a :class:`~repro.engine.pool.PersistentPool`), the
+    plan runs on the long-lived shared pool instead of a per-call
+    executor: no process spawn, and the graph ships to each worker at
+    most once per structural hash (``n_workers`` is ignored — the pool
+    owns its worker count; the results are bit-identical either way).
+
+    Otherwise blocks are submitted to a fresh per-call executor as
+    individual futures and collected strictly in plan order, with the
+    thread's :func:`cancel_scope` polled between completions — so
+    cancelling a served job takes effect within roughly one block's
+    wall-clock even on the multi-process path, instead of after the
+    whole plan.  On cancellation (or early stop) the per-call pool is
+    shut down with ``cancel_futures=True`` *without waiting*: queued
+    blocks never start, the at-most-``n_workers`` in-flight blocks
+    finish in the background, and the caller returns immediately
+    (speculative results are discarded by construction).
 
     With a ``stopper``, outcomes are observed in plan order and the
     returned list is the stopped prefix — bit-identical to what
@@ -262,9 +270,28 @@ def run_plan_parallel(
     ``(graph, rounds, seed)``, so the merged result stays bit-identical
     to an undisturbed run, whatever the worker count.
     """
+    if pool is not None:
+        return pool.run_plan(
+            graph,
+            plan,
+            probabilities=probabilities,
+            default_probability=default_probability,
+            minimise=minimise,
+            packed=packed,
+            stopper=stopper,
+        )
     kills = worker_kill_indices("parallel.block")
     payload = pickle.dumps(
-        (graph, probabilities, default_probability, minimise, packed, kills),
+        # The kill set rides along only while a fault schedule is armed;
+        # steady-state payloads ship None instead of an empty set.
+        (
+            graph,
+            probabilities,
+            default_probability,
+            minimise,
+            packed,
+            kills or None,
+        ),
         protocol=pickle.HIGHEST_PROTOCOL,
     )
     tasks = [
@@ -275,15 +302,20 @@ def run_plan_parallel(
     ]
     workers = min(n_workers, len(tasks))
     outcomes: list[BlockOutcome] = []
-    pool = ProcessPoolExecutor(
+    executor = ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_sampling_worker,
         initargs=(payload,),
     )
     broken_at: Optional[int] = None
     try:
+        futures = []
         try:
-            futures = [pool.submit(_run_block_task, task) for task in tasks]
+            # Submission is O(plan length) itself; poll cancellation here
+            # too so a huge plan never has to finish queueing first.
+            for task in tasks:
+                check_cancelled()
+                futures.append(executor.submit(_run_block_task, task))
         except BrokenExecutor:
             broken_at = 0
             futures = []
@@ -319,7 +351,10 @@ def run_plan_parallel(
             )
         return outcomes
     finally:
-        pool.shutdown(wait=True, cancel_futures=True)
+        # Never stall the caller on in-flight speculative blocks: on the
+        # cancel/early-stop paths their results are discarded anyway, so
+        # the workers finish (or exit) in the background.
+        executor.shutdown(wait=False, cancel_futures=True)
 
 
 def _finish_plan_inline(
@@ -362,16 +397,48 @@ def _call_job(task: tuple):
     return fn(*args)
 
 
-def map_jobs(fn, argument_tuples: Sequence[tuple], n_workers: int) -> list:
+def map_jobs(
+    fn, argument_tuples: Sequence[tuple], n_workers: int, pool=None
+) -> list:
     """Run ``fn(*args)`` for each argument tuple, fanning out when asked.
 
     ``fn`` must be a module-level function and every argument picklable
     (the executor serialises each task exactly once for IPC); with one
-    worker (or one job) everything runs inline, with zero IPC.
+    worker (or one job) everything runs inline, with zero IPC.  With a
+    ``pool`` (a :class:`~repro.engine.pool.PersistentPool`), jobs run on
+    the shared long-lived pool instead of a per-call executor.
+
+    Futures are collected in submission order with the thread's
+    :func:`cancel_scope` polled between completions, so a cancelled
+    service job that fans out here (planner pricing, multi-spec audits)
+    stops within roughly one job's wall-clock instead of blocking until
+    the whole sweep drains; remaining jobs are abandoned, never awaited.
     """
     jobs = list(argument_tuples)
+    if pool is not None and pool.workers > 1 and len(jobs) > 1:
+        return pool.map_jobs(fn, jobs)
     workers = min(resolve_workers(n_workers), len(jobs))
     if workers <= 1:
-        return [fn(*args) for args in jobs]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_call_job, [(fn, args) for args in jobs]))
+        results = []
+        for args in jobs:
+            check_cancelled()
+            results.append(fn(*args))
+        return results
+    executor = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = []
+        for args in jobs:
+            check_cancelled()
+            futures.append(executor.submit(_call_job, (fn, args)))
+        results = []
+        for future in futures:
+            while True:
+                check_cancelled()
+                try:
+                    results.append(future.result(timeout=_CANCEL_POLL_SECONDS))
+                except FuturesTimeoutError:
+                    continue
+                break
+        return results
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)

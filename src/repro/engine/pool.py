@@ -1,0 +1,578 @@
+"""A long-lived worker pool with content-addressed graph shipping.
+
+Every ``run_plan_parallel`` and ``map_jobs`` call used to build a brand
+new ``ProcessPoolExecutor``, pickle the entire fault graph into each
+worker's initializer, compile it there, run a handful of blocks and
+throw the whole apparatus away.  For the small-to-medium graphs a
+multi-tenant audit server mostly sees, that fixed cost — process spawn,
+graph ship, compile — dwarfs the actual sampling time.
+
+:class:`PersistentPool` amortises all three:
+
+* **One pool, many audits.**  The executor (and a companion
+  ``multiprocessing`` manager process holding the shared graph store)
+  is spawned lazily on first use and reused across audits, fan-out
+  jobs, tenants and threads until :meth:`close`.
+
+* **Content-addressed graph shipping.**  A graph travels to the pool at
+  most once: the parent pickles ``(graph, probabilities)`` a single
+  time and publishes it in the shared store under its structural hash
+  (:func:`~repro.engine.cache.structural_hash`, extended with a weights
+  digest when per-event probabilities are in play).  Steady-state tasks
+  carry only ``(key, index, block_rounds, seed)`` plus three scalars.
+
+* **Worker-side compiled-graph LRU.**  Each worker process keeps an LRU
+  of compiled graphs keyed by the same hash.  A warm task touches no
+  graph bytes at all; a cache miss triggers one on-demand pull from the
+  store (at most once per ``(worker, hash)`` while the entry stays
+  resident), after which the worker compiles through its process-local
+  :func:`~repro.engine.cache.compile_cached`.
+
+Every existing engine contract is preserved:
+
+* **Bit-identity.**  Blocks are pure functions of
+  ``(graph, rounds, seed)`` and outcomes are collected strictly in plan
+  order, so pooled results are bit-identical to serial, legacy
+  per-call-pool and any-worker-count runs.
+* **Cooperative cancellation.**  The collection loop polls the thread's
+  :func:`~repro.engine.parallel.cancel_scope` between completions; on
+  cancellation the remaining futures are *abandoned* (best-effort
+  cancelled, never awaited) — the pool stays up, the caller returns
+  within roughly one block's wall-clock.
+* **Adaptive early stopping.**  The stopper observes outcomes in plan
+  order; speculative blocks past the stopping point are abandoned and
+  their results discarded by construction.
+* **Self-repair.**  A worker death breaks the executor; the pool
+  retires it (``respawns`` counts up), finishes the interrupted plan
+  inline in the parent — bit-identical, the blocks are pure — and
+  respawns a fresh executor on next use.  The published graph store
+  lives in the manager process and survives the respawn.
+
+:meth:`stats` exposes the win — warm/cold worker cache hits, tasks
+executed, respawn count, shipped bytes — and is surfaced in audit
+metadata and the service ``/v1/healthz`` payload.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import multiprocessing
+import os
+import pickle
+import threading
+import weakref
+from collections import Counter, OrderedDict
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.batch import BlockOutcome, run_block
+from repro.engine.cache import compile_cached, structural_hash
+from repro.errors import AnalysisError
+from repro.testing.faults import KILL_EXIT_CODE, worker_kill_indices
+
+__all__ = ["PersistentPool", "task_key"]
+
+# Poll interval while waiting on the next plan-order future; bounds the
+# cancellation latency exactly like the legacy per-call pool path.
+_CANCEL_POLL_SECONDS = 0.05
+
+
+def task_key(graph, probabilities: Optional[Sequence[float]] = None) -> str:
+    """Content address of a shipped graph payload.
+
+    The structural hash identifies everything sampling depends on except
+    the optional explicit per-event weights vector, which is folded in
+    as a short digest — two audits of one graph with different weight
+    vectors must not share a worker cache entry.
+    """
+    key = structural_hash(graph)
+    if probabilities is not None:
+        digest = hashlib.sha256()
+        for value in probabilities:
+            digest.update(repr(value).encode())
+            digest.update(b"\0")
+        key = f"{key}:w{digest.hexdigest()[:16]}"
+    return key
+
+
+# --------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------- #
+
+# Process-local state of a pool worker: the shared-store proxy plus the
+# LRU of pulled-and-compiled graphs.  Distinct from the legacy
+# ``parallel._WORKER_STATE`` initializer payload — pool workers receive
+# graphs on demand, never at init time.
+_POOL_STATE: dict = {}
+
+
+def _init_pool_worker(store, cache_size: int) -> None:
+    _POOL_STATE["store"] = store
+    _POOL_STATE["cache"] = OrderedDict()
+    _POOL_STATE["cache_size"] = cache_size
+
+
+def _compiled_for(key: str):
+    """Worker-local lookup: ``key -> (compiled, probabilities)``.
+
+    Returns ``(compiled, probabilities, warm, pulled_bytes)``; a miss
+    pulls the payload from the shared store (one IPC round trip), so a
+    graph's bytes reach a given worker at most once per residency.
+    """
+    cache: OrderedDict = _POOL_STATE["cache"]
+    entry = cache.get(key)
+    if entry is not None:
+        cache.move_to_end(key)
+        compiled, probabilities = entry
+        return compiled, probabilities, True, 0
+    payload = _POOL_STATE["store"][key]
+    graph, probabilities = pickle.loads(payload)
+    compiled = compile_cached(graph)
+    cache[key] = (compiled, probabilities)
+    while len(cache) > _POOL_STATE["cache_size"]:
+        cache.popitem(last=False)
+    return compiled, probabilities, False, len(payload)
+
+
+def _pool_block_task(task: tuple):
+    key, index, block_rounds, seed, default_probability, minimise, packed, kill = task
+    if kill:
+        # Injected worker crash (repro.testing.faults): die the way a
+        # real segfault/OOM kill would; the parent retires the broken
+        # executor and finishes the plan inline.
+        os._exit(KILL_EXIT_CODE)
+    compiled, probabilities, warm, pulled = _compiled_for(key)
+    outcome = run_block(
+        compiled,
+        block_rounds,
+        np.random.default_rng(seed),
+        probabilities=probabilities,
+        default_probability=default_probability,
+        minimise=minimise,
+        packed=packed,
+    )
+    return outcome, warm, pulled
+
+
+def _pool_call_job(task: tuple):
+    fn, args = task
+    return fn(*args)
+
+
+def _release_resources(resources: dict) -> None:
+    """Finalizer: bring the executor and manager home (never waits)."""
+    executor = resources.get("executor")
+    if executor is not None:
+        with contextlib.suppress(Exception):
+            executor.shutdown(wait=False, cancel_futures=True)
+    manager = resources.get("manager")
+    if manager is not None:
+        with contextlib.suppress(Exception):
+            manager.shutdown()
+    resources["executor"] = None
+    resources["manager"] = None
+
+
+class PersistentPool:
+    """Shared process pool with worker-side compiled-graph caching.
+
+    Args:
+        n_workers: Worker processes (the
+            :func:`~repro.engine.parallel.resolve_workers` convention:
+            ``None``/``0``/``1`` degrade to inline execution, ``-1``
+            means all CPUs).  Construction is free — processes and the
+            store manager spawn lazily on first parallel use.
+        worker_cache_size: Compiled graphs each worker keeps resident.
+        store_size: Published payloads the shared store keeps (LRU;
+            entries pinned by in-flight plans are never evicted).
+
+    Thread-safe: service worker threads share one pool, and each
+    thread's :func:`~repro.engine.parallel.cancel_scope` cancels only
+    its own plan.
+    """
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        *,
+        worker_cache_size: int = 32,
+        store_size: int = 128,
+    ) -> None:
+        from repro.engine.parallel import resolve_workers
+
+        if worker_cache_size < 1:
+            raise AnalysisError(
+                f"worker_cache_size must be >= 1, got {worker_cache_size}"
+            )
+        if store_size < 1:
+            raise AnalysisError(f"store_size must be >= 1, got {store_size}")
+        self.workers = resolve_workers(n_workers)
+        self.worker_cache_size = worker_cache_size
+        self.store_size = store_size
+        self._lock = threading.Lock()
+        self._resources: dict = {"executor": None, "manager": None}
+        self._store = None  # manager-dict proxy once started
+        self._published: OrderedDict[str, int] = OrderedDict()
+        self._pins: Counter = Counter()
+        self._closed = False
+        # Counters (guarded by _lock).
+        self._plans = 0
+        self._tasks = 0
+        self._jobs = 0
+        self._warm_hits = 0
+        self._cold_misses = 0
+        self._shipped_bytes = 0
+        self._respawns = 0
+        self._inline_blocks = 0
+        self._finalizer = weakref.finalize(
+            self, _release_resources, self._resources
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def started(self) -> bool:
+        """Whether worker processes have been spawned yet."""
+        with self._lock:
+            return self._resources["executor"] is not None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise AnalysisError("persistent pool is closed")
+            if self._resources["manager"] is None:
+                manager = multiprocessing.Manager()
+                self._resources["manager"] = manager
+                self._store = manager.dict()
+            executor = self._resources["executor"]
+            if executor is None:
+                executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_pool_worker,
+                    initargs=(self._store, self.worker_cache_size),
+                )
+                self._resources["executor"] = executor
+            return executor
+
+    def _retire(self, executor: ProcessPoolExecutor) -> None:
+        """Drop a broken executor; the next use spawns a fresh one.
+
+        The manager (and with it every published graph) survives, so
+        repaired workers re-pull graphs on demand instead of forcing a
+        re-publish.
+        """
+        with self._lock:
+            if self._resources["executor"] is executor:
+                self._resources["executor"] = None
+                self._respawns += 1
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent, never blocks on stragglers)."""
+        with self._lock:
+            self._closed = True
+        self._finalizer()
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Graph publication
+    # ------------------------------------------------------------------ #
+
+    def _publish(self, graph, probabilities) -> str:
+        """Pin ``graph`` in the shared store, shipping it at most once."""
+        key = task_key(graph, probabilities)
+        with self._lock:
+            self._pins[key] += 1
+            if key in self._published:
+                self._published.move_to_end(key)
+                return key
+        payload = pickle.dumps(
+            (
+                graph,
+                None if probabilities is None else list(probabilities),
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self._ensure_executor()  # the store must exist before use
+        self._store[key] = payload
+        evicted: list[str] = []
+        with self._lock:
+            if key not in self._published:
+                self._published[key] = len(payload)
+                self._shipped_bytes += len(payload)
+            self._published.move_to_end(key)
+            while len(self._published) > self.store_size:
+                victim = next(
+                    (
+                        k
+                        for k in self._published
+                        if self._pins[k] == 0 and k != key
+                    ),
+                    None,
+                )
+                if victim is None:
+                    break
+                del self._published[victim]
+                evicted.append(victim)
+        for victim in evicted:
+            with contextlib.suppress(KeyError):
+                del self._store[victim]
+        return key
+
+    def _unpin(self, key: str) -> None:
+        with self._lock:
+            self._pins[key] -= 1
+            if self._pins[key] <= 0:
+                del self._pins[key]
+
+    # ------------------------------------------------------------------ #
+    # Plan execution
+    # ------------------------------------------------------------------ #
+
+    def run_plan(
+        self,
+        graph,
+        plan,
+        *,
+        probabilities: Optional[Sequence[float]] = None,
+        default_probability: float = 0.5,
+        minimise: bool = True,
+        packed: bool = True,
+        stopper=None,
+    ) -> list[BlockOutcome]:
+        """Execute a block plan through the pool, in plan order.
+
+        The drop-in counterpart of
+        :func:`~repro.engine.parallel.run_plan_parallel` (same contract:
+        bit-identical outcomes, cancel within ~one block, stopper
+        observed in plan order, worker-kill recovery) — minus the
+        per-call pool spin-up and graph ship.
+        """
+        from repro.engine.parallel import (
+            _finish_plan_inline,
+            check_cancelled,
+        )
+
+        if self.workers <= 1 or len(plan) <= 1:
+            outcomes = _finish_plan_inline(
+                graph,
+                [(i, r, s) for i, (r, s) in enumerate(zip(plan.rounds, plan.seeds))],
+                probabilities=probabilities,
+                default_probability=default_probability,
+                minimise=minimise,
+                packed=packed,
+                stopper=stopper,
+            )
+            with self._lock:
+                self._plans += 1
+                self._tasks += len(outcomes)
+                self._inline_blocks += len(outcomes)
+            return outcomes
+
+        kills = worker_kill_indices("parallel.block")
+        key = self._publish(graph, probabilities)
+        try:
+            with self._lock:
+                self._plans += 1
+            executor = self._ensure_executor()
+            tasks = [
+                (
+                    key,
+                    index,
+                    block_rounds,
+                    seed,
+                    default_probability,
+                    minimise,
+                    packed,
+                    index in kills,
+                )
+                for index, (block_rounds, seed) in enumerate(
+                    zip(plan.rounds, plan.seeds)
+                )
+            ]
+            broken = False
+            futures: list = []
+            outcomes: list[BlockOutcome] = []
+            collected = 0
+            try:
+                # Submission is itself O(plan length); poll cancellation
+                # here too so a huge plan can be cancelled before its
+                # last block ever reaches the queue.
+                try:
+                    for task in tasks:
+                        check_cancelled()
+                        futures.append(
+                            executor.submit(_pool_block_task, task)
+                        )
+                except BrokenExecutor:
+                    broken = True
+                for future in futures:
+                    if broken:
+                        break
+                    while True:
+                        check_cancelled()
+                        try:
+                            outcome, warm, pulled = future.result(
+                                timeout=_CANCEL_POLL_SECONDS
+                            )
+                        except FuturesTimeoutError:
+                            continue
+                        except BrokenExecutor:
+                            broken = True
+                        break
+                    if broken:
+                        break
+                    collected += 1
+                    with self._lock:
+                        self._tasks += 1
+                        if warm:
+                            self._warm_hits += 1
+                        else:
+                            self._cold_misses += 1
+                            self._shipped_bytes += pulled
+                    outcomes.append(outcome)
+                    if stopper is not None and stopper.observe(outcome):
+                        break
+            except BaseException:
+                # Cancellation (or a task bug): abandon the speculative
+                # futures — never wait on them; results are discarded by
+                # construction and the pool stays up for the next plan.
+                self._abandon(futures[collected:])
+                raise
+            if broken:
+                self._abandon(futures[collected:])
+                self._retire(executor)
+                tail = _finish_plan_inline(
+                    graph,
+                    [(t[1], t[2], t[3]) for t in tasks[collected:]],
+                    probabilities=probabilities,
+                    default_probability=default_probability,
+                    minimise=minimise,
+                    packed=packed,
+                    stopper=stopper,
+                )
+                with self._lock:
+                    self._tasks += len(tail)
+                    self._inline_blocks += len(tail)
+                outcomes.extend(tail)
+            elif collected < len(futures):
+                # Early stop: discard the speculative tail immediately.
+                self._abandon(futures[collected:])
+            return outcomes
+        finally:
+            self._unpin(key)
+
+    @staticmethod
+    def _abandon(futures) -> None:
+        for future in futures:
+            future.cancel()
+
+    # ------------------------------------------------------------------ #
+    # Generic job fan-out
+    # ------------------------------------------------------------------ #
+
+    def map_jobs(self, fn: Callable, argument_tuples: Sequence[tuple]) -> list:
+        """Run ``fn(*args)`` per tuple through the pool, results in order.
+
+        The persistent counterpart of
+        :func:`~repro.engine.parallel.map_jobs`: same ordering and
+        pickling contract, plus cancel polling between completions and
+        broken-pool repair (remaining jobs run inline in the parent —
+        job functions are pure, so results are unchanged).
+        """
+        from repro.engine.parallel import check_cancelled
+
+        jobs = list(argument_tuples)
+        if not jobs:
+            return []
+        if self.workers <= 1 or len(jobs) == 1:
+            results = []
+            for args in jobs:
+                check_cancelled()
+                results.append(fn(*args))
+            with self._lock:
+                self._jobs += len(results)
+            return results
+        executor = self._ensure_executor()
+        broken = False
+        futures: list = []
+        results: list = []
+        try:
+            try:
+                for args in jobs:
+                    check_cancelled()
+                    futures.append(
+                        executor.submit(_pool_call_job, (fn, args))
+                    )
+            except BrokenExecutor:
+                broken = True
+            for future in futures:
+                if broken:
+                    break
+                while True:
+                    check_cancelled()
+                    try:
+                        result = future.result(timeout=_CANCEL_POLL_SECONDS)
+                    except FuturesTimeoutError:
+                        continue
+                    except BrokenExecutor:
+                        broken = True
+                    break
+                if broken:
+                    break
+                results.append(result)
+        except BaseException:
+            self._abandon(futures[len(results):])
+            raise
+        if broken:
+            self._abandon(futures[len(results):])
+            self._retire(executor)
+            for args in jobs[len(results):]:
+                check_cancelled()
+                results.append(fn(*args))
+        with self._lock:
+            self._jobs += len(results)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        """Observable pool economics (audit metadata, ``/v1/healthz``).
+
+        ``warm_hits``/``cold_misses`` count worker-side compiled-graph
+        cache outcomes per block task; ``shipped_bytes`` is the total
+        graph traffic (one publish per pool, one pull per (worker,
+        graph) residency); ``inline_blocks`` counts blocks the parent
+        ran itself (single-block plans and broken-pool repairs).
+        """
+        with self._lock:
+            total = self._warm_hits + self._cold_misses
+            return {
+                "enabled": True,
+                "workers": self.workers,
+                "started": self._resources["executor"] is not None,
+                "closed": self._closed,
+                "plans": self._plans,
+                "tasks": self._tasks,
+                "jobs": self._jobs,
+                "warm_hits": self._warm_hits,
+                "cold_misses": self._cold_misses,
+                "warm_hit_rate": (self._warm_hits / total) if total else 0.0,
+                "shipped_bytes": self._shipped_bytes,
+                "published_graphs": len(self._published),
+                "respawns": self._respawns,
+                "inline_blocks": self._inline_blocks,
+            }

@@ -416,6 +416,11 @@ class PIAPipeline:
         minhash_size: Signature length m for the MinHash variant.
         seed: Root of the per-deployment/per-party seed tree.
         n_workers: Deployment fan-out (0/1 = inline).
+        pool: Optional shared
+            :class:`~repro.engine.pool.PersistentPool` — repeated
+            audits (the service, ``compare_combinations`` sweeps) reuse
+            its worker processes instead of spawning a pool per call.
+            Results are bit-identical either way.
     """
 
     def __init__(
@@ -426,6 +431,7 @@ class PIAPipeline:
         minhash_size: int = 256,
         seed: int = 0,
         n_workers: int = 0,
+        pool=None,
     ) -> None:
         if len(component_sets) < 2:
             raise ProtocolError("PIA needs at least two providers")
@@ -441,6 +447,7 @@ class PIAPipeline:
         self.minhash_size = minhash_size
         self.seed = seed
         self.n_workers = n_workers
+        self.pool = pool
         self._group_bits = group_bits
         self._family = HashFamily(size=minhash_size, seed=seed)
 
@@ -498,7 +505,10 @@ class PIAPipeline:
                     )
                 )
             outcomes = map_jobs(
-                _measure_psop_job, jobs, resolve_workers(self.n_workers)
+                _measure_psop_job,
+                jobs,
+                resolve_workers(self.n_workers),
+                pool=self.pool,
             )
             estimated = self.protocol == "psop-minhash"
             measured = []

@@ -34,6 +34,7 @@ from typing import Iterator, Optional, Union
 from repro import api
 from repro.engine.incremental import DeltaAuditEngine, LRUCache
 from repro.engine.parallel import cancel_scope
+from repro.engine.pool import PersistentPool
 from repro.errors import AuditCancelled, IndaasError, ServiceError
 from repro.service.admission import AdmissionQueue
 from repro.service.journal import JobJournal
@@ -106,6 +107,14 @@ class JobManager:
         if engine is None:
             engine = DeltaAuditEngine()
         self.engine = engine.delta()
+        # One persistent pool per server: when the engine samples across
+        # processes but nobody attached a pool yet, the manager owns one
+        # for its lifetime, so every served audit (and fan-out job)
+        # shares warm workers instead of spawning a pool per call.
+        self._owns_pool = False
+        if self.engine.pool is None and self.engine.n_workers > 1:
+            self.engine.pool = PersistentPool(self.engine.n_workers)
+            self._owns_pool = True
         self.admission = AdmissionQueue(
             per_tenant_limit=per_tenant_limit, total_limit=total_limit
         )
@@ -683,6 +692,11 @@ class JobManager:
                     "durable": self.stores.durable,
                     "tenants": self.stores.tenants(),
                 },
+                "pool": (
+                    self.engine.pool.stats()
+                    if self.engine.pool is not None
+                    else {"enabled": False}
+                ),
             }
 
     # ---------------------------- shutdown ---------------------------- #
@@ -712,3 +726,5 @@ class JobManager:
         if self.journal is not None:
             self.journal.close()
         self.stores.close()
+        if self._owns_pool and self.engine.pool is not None:
+            self.engine.pool.close()

@@ -54,3 +54,50 @@ def test_pre_cancelled_scope_produces_no_result():
     with cancel_scope(event):
         with pytest.raises(AuditCancelled):
             AuditEngine(n_workers=2).sample(GRAPH, 100_000, seed=1)
+
+
+def test_cancel_abandons_speculative_blocks_immediately():
+    """The cancel path must never wait out in-flight speculation.
+
+    The per-call pool used to be shut down with ``wait=True``, so a
+    cancelled 50M-round plan stalled until every queued block had run.
+    Speculative futures are now abandoned: latency stays bounded by
+    one block plus the poll interval even though far more rounds than
+    the bound could execute were queued at cancel time.
+    """
+    event = threading.Event()
+    engine = AuditEngine(n_workers=2)
+    timer = threading.Timer(0.2, event.set)
+    timer.start()
+    started = time.monotonic()
+    try:
+        with cancel_scope(event):
+            with pytest.raises(AuditCancelled):
+                engine.sample(GRAPH, 50_000_000, seed=1)
+    finally:
+        timer.cancel()
+    assert time.monotonic() - started < CANCEL_LATENCY_SECONDS
+
+
+def test_pooled_engine_cancels_within_one_block():
+    """Same latency bound through a shared :class:`PersistentPool` —
+    and the pool must come out of the cancellation reusable."""
+    from repro.engine import PersistentPool
+
+    with PersistentPool(2) as pool:
+        engine = AuditEngine(n_workers=2, pool=pool)
+        reference = engine.sample(GRAPH, 20_000, seed=2)
+        event = threading.Event()
+        timer = threading.Timer(0.3, event.set)
+        timer.start()
+        started = time.monotonic()
+        try:
+            with cancel_scope(event):
+                with pytest.raises(AuditCancelled):
+                    engine.sample(GRAPH, 50_000_000, seed=1)
+        finally:
+            timer.cancel()
+        assert time.monotonic() - started < CANCEL_LATENCY_SECONDS
+        repeat = engine.sample(GRAPH, 20_000, seed=2)
+        assert repeat.risk_groups == reference.risk_groups
+        assert repeat.top_failures == reference.top_failures

@@ -1,0 +1,365 @@
+"""Persistent worker pool: parity, reuse, repair, cancellation (ISSUE 10).
+
+The :class:`~repro.engine.pool.PersistentPool` must be invisible in the
+results: pooled audits are bit-identical to legacy per-call-pool and
+serial runs for any worker count, across interleaved audits of
+different graphs, worker-side LRU evictions, adaptive early stopping
+and injected worker kills.  The pool only changes the economics —
+graphs ship once, workers stay warm — which :meth:`PersistentPool.stats`
+makes observable and these tests pin.
+
+One module-scoped pool per worker count is shared by most tests here;
+that reuse across many unrelated audits *is* the feature under test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import FailureSampler
+from repro.core.componentset import ComponentSets
+from repro.engine import AuditEngine, DeltaAuditEngine, PersistentPool
+from repro.engine.parallel import cancel_scope, map_jobs
+from repro.engine.pool import task_key
+from repro.errors import AnalysisError, AuditCancelled
+from repro.testing.faults import Fault, FaultInjector, FaultSchedule
+
+BLOCK = 256
+# Generous CI bound — the real latency is one block plus the 0.05 s
+# poll; what matters is that cancellation never waits out the plan.
+CANCEL_LATENCY_SECONDS = 20.0
+
+
+def make_graph(tag: str, providers: int = 3, shared: int = 2):
+    sets = {
+        f"{tag}-P{i}": [f"{tag}-shared-{j}" for j in range(shared)]
+        + [f"{tag}-p{i}-{j}" for j in range(3)]
+        for i in range(providers)
+    }
+    return ComponentSets.from_mapping(sets).to_fault_graph(tag)
+
+
+GRAPH_A = make_graph("alpha")
+GRAPH_B = make_graph("beta", providers=4, shared=1)
+# Wide enough that a 50M-round plan far outlasts the cancel bound.
+GRAPH_WIDE = make_graph("wide", providers=6, shared=4)
+
+
+def assert_same(result, reference) -> None:
+    assert result.risk_groups == reference.risk_groups
+    assert result.top_failures == reference.top_failures
+    assert result.unique_failure_sets == reference.unique_failure_sets
+    assert (
+        result.top_probability_estimate
+        == reference.top_probability_estimate
+    )
+
+
+def serial_reference(graph, rounds, seed):
+    return FailureSampler(graph, seed=seed, batch_size=BLOCK).run(rounds)
+
+
+@pytest.fixture(scope="module")
+def pools():
+    """Lazily constructed shared pools, one per worker count."""
+    created: dict[int, PersistentPool] = {}
+
+    def get(workers: int) -> PersistentPool:
+        if workers not in created:
+            created[workers] = PersistentPool(workers)
+        return created[workers]
+
+    yield get
+    for pool in created.values():
+        pool.close()
+
+
+# --------------------------------------------------------------------- #
+# Bit-identity
+# --------------------------------------------------------------------- #
+
+
+class TestParity:
+    @pytest.mark.parametrize("packed", [True, False], ids=["packed", "bool"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_pooled_fresh_and_serial_agree(self, pools, workers, packed):
+        serial = serial_reference(GRAPH_A, 3000, seed=11)
+        legacy = AuditEngine(n_workers=workers, block_size=BLOCK).sample(
+            GRAPH_A, 3000, seed=11, packed=packed
+        )
+        pooled = AuditEngine(
+            n_workers=workers, block_size=BLOCK, pool=pools(workers)
+        ).sample(GRAPH_A, 3000, seed=11, packed=packed)
+        assert_same(legacy, serial)
+        assert_same(pooled, serial)
+
+    def test_fresh_single_use_pool_matches_shared_pool(self, pools):
+        shared = AuditEngine(
+            n_workers=2, block_size=BLOCK, pool=pools(2)
+        ).sample(GRAPH_B, 2500, seed=23)
+        with PersistentPool(2) as fresh_pool:
+            fresh = AuditEngine(
+                n_workers=2, block_size=BLOCK, pool=fresh_pool
+            ).sample(GRAPH_B, 2500, seed=23)
+        assert_same(fresh, shared)
+        assert_same(shared, serial_reference(GRAPH_B, 2500, seed=23))
+
+    def test_interleaved_graphs_through_one_pool(self, pools):
+        pool = pools(2)
+        engine = AuditEngine(n_workers=2, block_size=BLOCK, pool=pool)
+        before = pool.stats()
+        plan = [(GRAPH_A, 3), (GRAPH_B, 4), (GRAPH_A, 3), (GRAPH_B, 4)]
+        for graph, seed in plan:
+            result = engine.sample(graph, 2000, seed=seed)
+            assert_same(result, serial_reference(graph, 2000, seed=seed))
+        after = pool.stats()
+        # Each graph ships to each worker at most once; every further
+        # block is a warm worker-cache hit.
+        assert after["cold_misses"] - before["cold_misses"] <= (
+            2 * pool.workers
+        )
+        assert after["warm_hits"] > before["warm_hits"]
+        assert after["published_graphs"] >= 2
+
+    def test_worker_lru_eviction_keeps_bit_identity(self):
+        # A one-entry worker cache forces an eviction on every graph
+        # switch: correctness must not depend on cache residency.
+        with PersistentPool(2, worker_cache_size=1) as pool:
+            engine = AuditEngine(n_workers=2, block_size=BLOCK, pool=pool)
+            for graph, seed in [
+                (GRAPH_A, 3),
+                (GRAPH_B, 4),
+                (GRAPH_A, 3),
+                (GRAPH_B, 4),
+            ]:
+                result = engine.sample(graph, 2000, seed=seed)
+                assert_same(result, serial_reference(graph, 2000, seed=seed))
+            assert pool.stats()["cold_misses"] >= 2
+
+    def test_store_eviction_republishes_on_demand(self):
+        with PersistentPool(2, store_size=1) as pool:
+            engine = AuditEngine(n_workers=2, block_size=BLOCK, pool=pool)
+            for graph, seed in [(GRAPH_A, 3), (GRAPH_B, 4), (GRAPH_A, 3)]:
+                result = engine.sample(graph, 2000, seed=seed)
+                assert_same(result, serial_reference(graph, 2000, seed=seed))
+            assert pool.stats()["published_graphs"] == 1
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        providers=st.integers(min_value=2, max_value=4),
+        shared=st.integers(min_value=1, max_value=3),
+        rounds=st.integers(min_value=500, max_value=3000),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_random_deployments_pooled_equals_serial(
+        self, pools, providers, shared, rounds, seed
+    ):
+        graph = make_graph(f"fuzz-{providers}-{shared}", providers, shared)
+        pooled = AuditEngine(
+            n_workers=2, block_size=BLOCK, pool=pools(2)
+        ).sample(graph, rounds, seed=seed)
+        assert_same(pooled, serial_reference(graph, rounds, seed=seed))
+
+    def test_adaptive_stop_is_pool_invariant(self, pools):
+        serial = AuditEngine(n_workers=1, block_size=BLOCK).sample(
+            GRAPH_A, 500_000, seed=3, adaptive=True
+        )
+        pooled = AuditEngine(
+            n_workers=2, block_size=BLOCK, pool=pools(2)
+        ).sample(GRAPH_A, 500_000, seed=3, adaptive=True)
+        assert serial.rounds == pooled.rounds < 500_000
+        assert_same(pooled, serial)
+        assert (
+            serial.metadata["blocks_observed"]
+            == pooled.metadata["blocks_observed"]
+        )
+
+
+# --------------------------------------------------------------------- #
+# Worker-kill repair
+# --------------------------------------------------------------------- #
+
+
+class TestRepair:
+    def test_killed_worker_recovers_and_pool_stays_usable(self):
+        serial = serial_reference(GRAPH_A, 4000, seed=5)
+        with PersistentPool(2) as pool:
+            engine = AuditEngine(n_workers=2, block_size=BLOCK, pool=pool)
+            schedule = FaultSchedule(
+                (
+                    Fault(
+                        kind="worker-kill",
+                        point="parallel.block",
+                        match={"index": 2},
+                    ),
+                )
+            )
+            with FaultInjector(schedule) as injector:
+                killed = engine.sample(GRAPH_A, 4000, seed=5)
+            assert injector.fired, "the kill never triggered"
+            assert_same(killed, serial)
+            stats = pool.stats()
+            assert stats["respawns"] >= 1
+            assert stats["inline_blocks"] >= 1
+            # The respawned pool keeps serving bit-identical results.
+            assert_same(engine.sample(GRAPH_A, 4000, seed=5), serial)
+
+
+# --------------------------------------------------------------------- #
+# Cancellation
+# --------------------------------------------------------------------- #
+
+
+def _sleep_job(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+def _cancel_after(delay: float):
+    event = threading.Event()
+    timer = threading.Timer(delay, event.set)
+    timer.start()
+    return event, timer
+
+
+class TestCancellation:
+    def test_map_jobs_honours_cancel_scope(self):
+        # Regression (ISSUE 10 satellite): map_jobs used to hand the
+        # whole batch to Executor.map and only return once every job
+        # had run; ~15 s of queued sleep must now cancel within the
+        # block-latency bound.
+        event, timer = _cancel_after(0.3)
+        started = time.monotonic()
+        try:
+            with cancel_scope(event):
+                with pytest.raises(AuditCancelled):
+                    map_jobs(_sleep_job, [(3.0,)] * 10, 2)
+        finally:
+            timer.cancel()
+        assert time.monotonic() - started < CANCEL_LATENCY_SECONDS
+
+    def test_pool_map_jobs_honours_cancel_scope(self, pools):
+        pool = pools(2)
+        event, timer = _cancel_after(0.3)
+        started = time.monotonic()
+        try:
+            with cancel_scope(event):
+                with pytest.raises(AuditCancelled):
+                    pool.map_jobs(_sleep_job, [(3.0,)] * 10)
+        finally:
+            timer.cancel()
+        assert time.monotonic() - started < CANCEL_LATENCY_SECONDS
+        # Abandoned futures never poison later calls.
+        assert pool.map_jobs(_sleep_job, [(0.0,), (0.0,)]) == [0.0, 0.0]
+
+    def test_pooled_sample_cancels_and_pool_survives(self, pools):
+        pool = pools(2)
+        engine = AuditEngine(n_workers=2, pool=pool)
+        reference = serial_reference(GRAPH_WIDE, 2000, seed=7)
+        event, timer = _cancel_after(0.3)
+        started = time.monotonic()
+        try:
+            with cancel_scope(event):
+                with pytest.raises(AuditCancelled):
+                    engine.sample(GRAPH_WIDE, 50_000_000, seed=1)
+        finally:
+            timer.cancel()
+        assert time.monotonic() - started < CANCEL_LATENCY_SECONDS
+        follow_up = AuditEngine(
+            n_workers=2, block_size=BLOCK, pool=pool
+        ).sample(GRAPH_WIDE, 2000, seed=7)
+        assert_same(follow_up, reference)
+
+
+# --------------------------------------------------------------------- #
+# Plumbing: engines, service, keys, lifecycle
+# --------------------------------------------------------------------- #
+
+
+class TestPlumbing:
+    def test_task_key_separates_weight_vectors(self):
+        base = task_key(GRAPH_A)
+        assert task_key(GRAPH_A) == base
+        assert task_key(GRAPH_A, [0.1, 0.2]) != base
+        assert task_key(GRAPH_A, [0.1, 0.2]) == task_key(GRAPH_A, [0.1, 0.2])
+        assert task_key(GRAPH_A, [0.1, 0.2]) != task_key(GRAPH_A, [0.2, 0.1])
+
+    def test_pool_stats_surface_in_metadata_and_info(self, pools, monkeypatch):
+        monkeypatch.delenv("REPRO_POOL_DEFAULT", raising=False)
+        pool = pools(2)
+        engine = AuditEngine(n_workers=2, block_size=BLOCK, pool=pool)
+        result = engine.sample(GRAPH_A, 2000, seed=9)
+        assert result.metadata["pool"]["enabled"] is True
+        assert result.metadata["pool"]["workers"] == 2
+        assert engine.info()["pool"]["enabled"] is True
+        plain = AuditEngine(n_workers=2, block_size=BLOCK)
+        assert plain.info()["pool"] == {"enabled": False}
+
+    def test_engine_owns_pool_with_pool_true(self):
+        with AuditEngine(n_workers=2, pool=True) as engine:
+            assert engine.pool is not None
+            assert engine.pool.workers == 2
+            shared = engine.pool
+        assert shared.stats()["closed"] is True
+
+    def test_pool_default_env_flips_engine_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_DEFAULT", "1")
+        engine = AuditEngine(n_workers=2)
+        try:
+            assert engine.pool is not None
+        finally:
+            engine.close()
+        monkeypatch.setenv("REPRO_POOL_DEFAULT", "0")
+        assert AuditEngine(n_workers=2).pool is None
+
+    def test_serial_engines_never_grow_a_pool(self):
+        assert AuditEngine(n_workers=1, pool=True).pool is None
+
+    def test_delta_engine_inherits_pool(self, pools):
+        pool = pools(2)
+        engine = DeltaAuditEngine(n_workers=2, block_size=BLOCK, pool=pool)
+        result = engine.sample(GRAPH_B, 2000, seed=13)
+        assert_same(result, serial_reference(GRAPH_B, 2000, seed=13))
+        assert result.metadata["pool"]["enabled"] is True
+
+    def test_job_manager_owns_a_server_pool(self, monkeypatch):
+        from repro.service.jobs import JobManager
+
+        monkeypatch.delenv("REPRO_POOL_DEFAULT", raising=False)
+        manager = JobManager(
+            DeltaAuditEngine(n_workers=2), workers=0, resume=False
+        )
+        pool = manager.engine.pool
+        assert pool is not None
+        assert manager.stats()["pool"]["enabled"] is True
+        manager.shutdown(drain=False)
+        assert pool.stats()["closed"] is True
+
+    def test_closed_pool_refuses_new_plans(self):
+        pool = PersistentPool(2)
+        engine = AuditEngine(n_workers=2, block_size=BLOCK, pool=pool)
+        engine.sample(GRAPH_A, 2000, seed=1)
+        pool.close()
+        with pytest.raises(AnalysisError):
+            engine.sample(GRAPH_A, 2000, seed=1)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(AnalysisError):
+            PersistentPool(2, worker_cache_size=0)
+        with pytest.raises(AnalysisError):
+            PersistentPool(2, store_size=0)
+
+    def test_lazy_start(self):
+        pool = PersistentPool(4)
+        assert not pool.started
+        assert pool.stats()["started"] is False
+        pool.close()
